@@ -1,0 +1,107 @@
+// pumi-part partitions a mesh with one of the global partitioners and
+// writes the element-to-part assignment, reporting the balance and cut
+// quality of the result.
+//
+// Usage:
+//
+//	pumi-part -mesh aaa.pumi -model vessel:10,1,0.6,1.2 -parts 64 -method hypergraph -o aaa.part
+//	pumi-part -mesh box.pumi -model box:1,1,1 -parts 16 -method rcb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/fastmath/pumi-go/internal/cmdutil"
+	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/meshio"
+	"github.com/fastmath/pumi-go/internal/zpart"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pumi-part: ")
+	meshFile := flag.String("mesh", "", "input mesh file (from pumi-gen)")
+	modelFlag := flag.String("model", "", "model spec matching the mesh (optional; used for snapping metadata)")
+	parts := flag.Int("parts", 4, "number of parts")
+	method := flag.String("method", "rcb", "partitioner: rcb | rib | graph | hypergraph")
+	out := flag.String("o", "", "output assignment file (optional)")
+	flag.Parse()
+	if *meshFile == "" {
+		log.Fatal("-mesh is required")
+	}
+	model := cmdutilModel(*modelFlag)
+	m, err := meshio.LoadFile(*meshFile, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	var assign []int32
+	switch *method {
+	case "rcb":
+		in, _ := zpart.Centroids(m)
+		assign = zpart.RCB(in, *parts)
+	case "rib":
+		in, _ := zpart.Centroids(m)
+		assign = zpart.RIB(in, *parts)
+	case "graph":
+		g, _ := zpart.DualGraph(m)
+		assign = zpart.MLGraph(g, *parts)
+	case "hypergraph":
+		h, _ := zpart.ElementHypergraph(m, 0)
+		assign = zpart.PHG(h, *parts)
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	elapsed := time.Since(start)
+
+	sizes := make([]int64, *parts)
+	for _, p := range assign {
+		sizes[p]++
+	}
+	var max, total int64
+	for _, s := range sizes {
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	mean := float64(total) / float64(*parts)
+	fmt.Printf("method %s: %d elements to %d parts in %v\n", *method, total, *parts, elapsed)
+	fmt.Printf("element balance: mean %.1f, max %d, imbalance %.2f%%\n",
+		mean, max, (float64(max)/mean-1)*100)
+	g, _ := zpart.DualGraph(m)
+	fmt.Printf("dual-graph edge cut: %.0f\n", g.EdgeCut(assign))
+	h, _ := zpart.ElementHypergraph(m, 0)
+	fmt.Printf("hypergraph connectivity-1 cut: %.0f\n", h.ConnectivityCut(assign))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := meshio.WriteAssignment(f, assign); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func cmdutilModel(spec string) *gmi.Model {
+	if spec == "" {
+		return nil
+	}
+	ms, err := cmdutil.ParseModelSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _ := ms.Build()
+	return model
+}

@@ -1,0 +1,3 @@
+module github.com/fastmath/pumi-go
+
+go 1.23

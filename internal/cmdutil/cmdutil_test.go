@@ -1,0 +1,79 @@
+package cmdutil
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/meshgen"
+)
+
+func TestParseModelSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind string
+		dim  int
+	}{
+		{"box:1,2,3", "box", 3},
+		{"rect:2,1", "rect", 2},
+		{"vessel:10,1,0.6,1.2", "vessel", 3},
+		{"wing:4,2,0.5", "wing", 3},
+		{"BOX:1,1,1", "box", 3},
+	}
+	for _, c := range cases {
+		spec, err := ParseModelSpec(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if spec.Kind != c.kind || spec.Dim() != c.dim {
+			t.Fatalf("%q -> %+v", c.in, spec)
+		}
+		model, typed := spec.Build()
+		if model == nil || typed == nil {
+			t.Fatalf("%q: Build returned nil", c.in)
+		}
+		if err := model.CheckConsistency(); err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+	}
+}
+
+func TestParseModelSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "sphere:1", "box", "box:1,2", "box:1,2,3,4", "box:a,b,c", "rect:1",
+	} {
+		if _, err := ParseModelSpec(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestBuildTypedModels(t *testing.T) {
+	spec, _ := ParseModelSpec("vessel:10,1,0.5,1")
+	_, typed := spec.Build()
+	v, ok := typed.(*gmi.VesselModel)
+	if !ok {
+		t.Fatalf("vessel built %T", typed)
+	}
+	if v.Length != 10 || v.R0 != 1 {
+		t.Fatal("vessel params lost")
+	}
+	spec, _ = ParseModelSpec("rect:2,3")
+	_, typed = spec.Build()
+	r, ok := typed.(*gmi.RectModel)
+	if !ok || r.Lx != 2 || r.Ly != 3 {
+		t.Fatalf("rect built %T", typed)
+	}
+}
+
+func TestPrintMeshStats(t *testing.T) {
+	m := meshgen.Box3D(gmi.Box(1, 1, 1), 2, 2, 2)
+	var b strings.Builder
+	PrintMeshStats(&b, m)
+	out := b.String()
+	for _, want := range []string{"dimension 3", "vertices", "regions", "measure"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+}

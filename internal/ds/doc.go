@@ -1,0 +1,10 @@
+// Package ds provides the common utility components shared by the
+// geometric model and the mesh: iterators over ranges of data, ordered
+// sets for grouping arbitrary data, and tag tables for attaching
+// arbitrary user data to arbitrary data.
+//
+// These are the "Common Utilities" of the PUMI software structure
+// (Fig. 1 of the paper): Iterator, Set and Tag. They are deliberately
+// generic so that both gmi (geometric model) and mesh can reuse them
+// with their own handle types.
+package ds

@@ -1,0 +1,264 @@
+package ds
+
+import "fmt"
+
+// TagKind identifies the value type stored by a tag.
+type TagKind int
+
+// Tag value kinds. Slice kinds store a fixed number of components per
+// tagged datum (the tag's Size).
+const (
+	TagInt TagKind = iota
+	TagFloat
+	TagIntSlice
+	TagFloatSlice
+	TagBytes
+	TagAny
+)
+
+func (k TagKind) String() string {
+	switch k {
+	case TagInt:
+		return "int"
+	case TagFloat:
+		return "float"
+	case TagIntSlice:
+		return "int[]"
+	case TagFloatSlice:
+		return "float[]"
+	case TagBytes:
+		return "bytes"
+	case TagAny:
+		return "any"
+	}
+	return fmt.Sprintf("TagKind(%d)", int(k))
+}
+
+// Tag describes a named piece of user data attachable to arbitrary data.
+// A Tag is created once per (name, kind, size) on a TagTable and then
+// used as the handle for get/set operations.
+type Tag struct {
+	Name string
+	Kind TagKind
+	// Size is the number of components per datum for slice kinds,
+	// and 1 otherwise.
+	Size int
+	id   int
+}
+
+// TagTable attaches tag data to arbitrary comparable keys (entity
+// handles, model entities, set handles, ...). Storage is sparse: only
+// tagged keys consume memory, matching PUMI's tagging semantics where a
+// tag may exist on an arbitrary subset of entities.
+type TagTable[K comparable] struct {
+	tags   []*Tag
+	byName map[string]*Tag
+	data   []map[K]any // indexed by tag id
+}
+
+// NewTagTable returns an empty tag table.
+func NewTagTable[K comparable]() *TagTable[K] {
+	return &TagTable[K]{byName: make(map[string]*Tag)}
+}
+
+// Create registers a new tag. It returns an error if the name is taken
+// or the size is invalid for the kind.
+func (t *TagTable[K]) Create(name string, kind TagKind, size int) (*Tag, error) {
+	if _, ok := t.byName[name]; ok {
+		return nil, fmt.Errorf("ds: tag %q already exists", name)
+	}
+	switch kind {
+	case TagIntSlice, TagFloatSlice, TagBytes:
+		if size < 1 {
+			return nil, fmt.Errorf("ds: tag %q: size %d invalid for kind %v", name, size, kind)
+		}
+	default:
+		size = 1
+	}
+	tag := &Tag{Name: name, Kind: kind, Size: size, id: len(t.tags)}
+	t.tags = append(t.tags, tag)
+	t.byName[name] = tag
+	t.data = append(t.data, make(map[K]any))
+	return tag, nil
+}
+
+// Find returns the tag with the given name, or nil.
+func (t *TagTable[K]) Find(name string) *Tag { return t.byName[name] }
+
+// Tags returns all registered tags in creation order.
+func (t *TagTable[K]) Tags() []*Tag { return t.tags }
+
+// Destroy removes a tag and all data attached under it.
+func (t *TagTable[K]) Destroy(tag *Tag) {
+	if t.byName[tag.Name] != tag {
+		return
+	}
+	delete(t.byName, tag.Name)
+	t.data[tag.id] = nil
+	// Keep ids stable; slot is retired.
+	for i, x := range t.tags {
+		if x == tag {
+			t.tags = append(t.tags[:i], t.tags[i+1:]...)
+			break
+		}
+	}
+}
+
+// Has reports whether key carries data under tag.
+func (t *TagTable[K]) Has(tag *Tag, key K) bool {
+	m := t.data[tag.id]
+	if m == nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// Delete removes tag data from key.
+func (t *TagTable[K]) Delete(tag *Tag, key K) {
+	if m := t.data[tag.id]; m != nil {
+		delete(m, key)
+	}
+}
+
+// DeleteAll removes tag data for key under every tag (used when the
+// underlying datum is destroyed).
+func (t *TagTable[K]) DeleteAll(key K) {
+	for _, m := range t.data {
+		if m != nil {
+			delete(m, key)
+		}
+	}
+}
+
+// CountTagged returns the number of keys carrying data under tag.
+func (t *TagTable[K]) CountTagged(tag *Tag) int {
+	if m := t.data[tag.id]; m != nil {
+		return len(m)
+	}
+	return 0
+}
+
+func (t *TagTable[K]) set(tag *Tag, key K, v any) { t.data[tag.id][key] = v }
+
+func (t *TagTable[K]) get(tag *Tag, key K) (any, bool) {
+	m := t.data[tag.id]
+	if m == nil {
+		return nil, false
+	}
+	v, ok := m[key]
+	return v, ok
+}
+
+// SetInt attaches an integer value. The tag must have kind TagInt.
+func (t *TagTable[K]) SetInt(tag *Tag, key K, v int64) {
+	mustKind(tag, TagInt)
+	t.set(tag, key, v)
+}
+
+// GetInt reads an integer value; ok is false if key is untagged.
+func (t *TagTable[K]) GetInt(tag *Tag, key K) (v int64, ok bool) {
+	mustKind(tag, TagInt)
+	x, ok := t.get(tag, key)
+	if !ok {
+		return 0, false
+	}
+	return x.(int64), true
+}
+
+// SetFloat attaches a float value. The tag must have kind TagFloat.
+func (t *TagTable[K]) SetFloat(tag *Tag, key K, v float64) {
+	mustKind(tag, TagFloat)
+	t.set(tag, key, v)
+}
+
+// GetFloat reads a float value; ok is false if key is untagged.
+func (t *TagTable[K]) GetFloat(tag *Tag, key K) (v float64, ok bool) {
+	mustKind(tag, TagFloat)
+	x, ok := t.get(tag, key)
+	if !ok {
+		return 0, false
+	}
+	return x.(float64), true
+}
+
+// SetInts attaches a fixed-size integer slice (copied).
+func (t *TagTable[K]) SetInts(tag *Tag, key K, v []int64) {
+	mustKind(tag, TagIntSlice)
+	mustSize(tag, len(v))
+	c := make([]int64, len(v))
+	copy(c, v)
+	t.set(tag, key, c)
+}
+
+// GetInts reads an integer slice; the result must not be mutated.
+func (t *TagTable[K]) GetInts(tag *Tag, key K) ([]int64, bool) {
+	mustKind(tag, TagIntSlice)
+	x, ok := t.get(tag, key)
+	if !ok {
+		return nil, false
+	}
+	return x.([]int64), true
+}
+
+// SetFloats attaches a fixed-size float slice (copied).
+func (t *TagTable[K]) SetFloats(tag *Tag, key K, v []float64) {
+	mustKind(tag, TagFloatSlice)
+	mustSize(tag, len(v))
+	c := make([]float64, len(v))
+	copy(c, v)
+	t.set(tag, key, c)
+}
+
+// GetFloats reads a float slice; the result must not be mutated.
+func (t *TagTable[K]) GetFloats(tag *Tag, key K) ([]float64, bool) {
+	mustKind(tag, TagFloatSlice)
+	x, ok := t.get(tag, key)
+	if !ok {
+		return nil, false
+	}
+	return x.([]float64), true
+}
+
+// SetBytes attaches raw bytes of the tag's size (copied).
+func (t *TagTable[K]) SetBytes(tag *Tag, key K, v []byte) {
+	mustKind(tag, TagBytes)
+	mustSize(tag, len(v))
+	c := make([]byte, len(v))
+	copy(c, v)
+	t.set(tag, key, c)
+}
+
+// GetBytes reads raw bytes; the result must not be mutated.
+func (t *TagTable[K]) GetBytes(tag *Tag, key K) ([]byte, bool) {
+	mustKind(tag, TagBytes)
+	x, ok := t.get(tag, key)
+	if !ok {
+		return nil, false
+	}
+	return x.([]byte), true
+}
+
+// SetAny attaches an arbitrary value under a TagAny tag.
+func (t *TagTable[K]) SetAny(tag *Tag, key K, v any) {
+	mustKind(tag, TagAny)
+	t.set(tag, key, v)
+}
+
+// GetAny reads an arbitrary value.
+func (t *TagTable[K]) GetAny(tag *Tag, key K) (any, bool) {
+	mustKind(tag, TagAny)
+	return t.get(tag, key)
+}
+
+func mustKind(tag *Tag, k TagKind) {
+	if tag.Kind != k {
+		panic(fmt.Sprintf("ds: tag %q has kind %v, accessed as %v", tag.Name, tag.Kind, k))
+	}
+}
+
+func mustSize(tag *Tag, n int) {
+	if tag.Size != n {
+		panic(fmt.Sprintf("ds: tag %q has size %d, got %d values", tag.Name, tag.Size, n))
+	}
+}

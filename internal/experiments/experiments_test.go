@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tiny-scale smoke runs of every experiment driver: these validate the
+// pipelines end to end and the paper's qualitative shapes; the full
+// defaults run from pumi-bench and the root benchmarks.
+
+func tinyTableConfig() TableConfig {
+	return TableConfig{NS: 10, N: 6, Parts: 8, Ranks: 4, Tol: 1.05, MaxIters: 40}
+}
+
+func TestRunTableShape(t *testing.T) {
+	res, err := RunTable(tinyTableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t0 := res.Rows[0]
+	if t0.Test != "T0" || t0.Mean[3] <= 0 {
+		t.Fatalf("T0 row broken: %+v", t0)
+	}
+	// Table III shape: every ParMA test is much faster than the
+	// hypergraph partitioner.
+	for _, row := range res.Rows[1:] {
+		if row.Seconds >= t0.Seconds {
+			t.Errorf("%s: ParMA %.3fs not faster than PHG %.3fs", row.Test, row.Seconds, t0.Seconds)
+		}
+	}
+	// Table II shape: each test improves (or at least does not worsen)
+	// the peak imbalance of its highest-priority entity type relative
+	// to T0.
+	priDim := map[string]int{"T1": 0, "T2": 0, "T3": 1, "T4": 1}
+	for _, row := range res.Rows[1:] {
+		d := priDim[row.Test]
+		if row.Imb[d] > t0.Imb[d]+1e-9 {
+			t.Errorf("%s: dim %d imbalance %.3f worse than T0 %.3f", row.Test, d, row.Imb[d], t0.Imb[d])
+		}
+	}
+	// Fig 12 series exist and the after-spread is no wider than before.
+	if len(res.Fig12.VtxBefore) != 8 || len(res.Fig12.VtxAfter) != 8 {
+		t.Fatalf("fig12 series missing: %d", len(res.Fig12.VtxBefore))
+	}
+	spread := func(s []float64) float64 {
+		lo, hi := s[0], s[0]
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi - lo
+	}
+	if spread(res.Fig12.VtxAfter) > spread(res.Fig12.VtxBefore)+1e-9 {
+		t.Errorf("vertex spread widened: %.3f -> %.3f",
+			spread(res.Fig12.VtxBefore), spread(res.Fig12.VtxAfter))
+	}
+	out := FormatTable(res)
+	if !strings.Contains(out, "T0") || !strings.Contains(out, "T4") {
+		t.Fatalf("format output broken:\n%s", out)
+	}
+}
+
+func TestRunFig13Shape(t *testing.T) {
+	cfg := Fig13Config{
+		NX: 10, NY: 6, NZ: 3, Parts: 8, Ranks: 4,
+		Fine: 0.12, Coarse: 0.8, Band: 0.3, WithSplit: true,
+	}
+	res, err := RunFig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ElemAfter <= res.ElemBefore {
+		t.Fatalf("no net refinement: %d -> %d", res.ElemBefore, res.ElemAfter)
+	}
+	// The shape: adaptation without balancing leaves a strong spike.
+	if res.PeakImbalance < 1.5 {
+		t.Fatalf("peak imbalance only %.2f", res.PeakImbalance)
+	}
+	if res.PartsBelow50 == 0 {
+		t.Fatal("no starved parts; the histogram should have a left mass")
+	}
+	// Heavy part splitting + diffusion recovers substantially.
+	if res.SplitImbalance >= res.PeakImbalance {
+		t.Fatalf("split did not improve: %.2f -> %.2f", res.PeakImbalance, res.SplitImbalance)
+	}
+	if got := FormatFig13(res); !strings.Contains(got, "peak imbalance") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestRunHybridShape(t *testing.T) {
+	cfg := HybridConfig{MaxWorkers: 8, MsgBytes: 32 << 10, Phases: 30}
+	points, err := RunHybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 { // 2, 4, 8
+		t.Fatalf("points = %d", len(points))
+	}
+	// Traffic classification must match the placement.
+	for _, p := range points {
+		if p.OnNodeBytes == 0 || p.OffNodeBytes == 0 {
+			t.Fatalf("traffic not classified: %+v", p)
+		}
+	}
+	if got := FormatHybrid(points); !strings.Contains(got, "workers") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestRunMigrateShape(t *testing.T) {
+	cfg := MigrateConfig{NX: 8, NY: 8, NZ: 8, PartCounts: []int{2, 4}}
+	points, err := RunMigrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Elements != 6*8*8*8 {
+			t.Fatalf("elements = %d", p.Elements)
+		}
+		if p.DistributeSecs <= 0 || p.GhostSecs <= 0 || p.GhostElems == 0 {
+			t.Fatalf("timings missing: %+v", p)
+		}
+	}
+	// More parts -> more boundary.
+	if points[1].BoundaryVtx <= points[0].BoundaryVtx {
+		t.Fatalf("boundary did not grow: %+v", points)
+	}
+	if got := FormatMigrate(points); !strings.Contains(got, "distribute") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestRunLocalSplitShape(t *testing.T) {
+	cfg := LocalSplitConfig{NX: 12, NY: 12, NZ: 6, CoarseParts: 4, SplitFactor: 8, Ranks: 4}
+	res, err := RunLocalSplit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spike: local splitting yields worse vertex imbalance than
+	// the global partition.
+	if res.SplitVtxImb <= res.CoarseVtxImb {
+		t.Fatalf("no spike: coarse %.3f split %.3f", res.CoarseVtxImb, res.SplitVtxImb)
+	}
+	// ParMA recovers: either it improved the spike, or the spike was
+	// already within the balancer's 5% tolerance.
+	if res.ParMAVtxImb > res.SplitVtxImb || (res.ParMAVtxImb == res.SplitVtxImb && res.SplitVtxImb > 1.05) {
+		t.Fatalf("no recovery: %.3f -> %.3f", res.SplitVtxImb, res.ParMAVtxImb)
+	}
+	if got := FormatLocalSplit(res); !strings.Contains(got, "improvement") {
+		t.Fatal("format broken")
+	}
+}

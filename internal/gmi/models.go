@@ -1,0 +1,251 @@
+package gmi
+
+import (
+	"math"
+
+	"github.com/fastmath/pumi-go/internal/vec"
+)
+
+// RectModel is the 2D rectangle domain [0,Lx] x [0,Ly] at z = 0:
+// one model face, four model edges, four model vertices. Edge tags:
+// 1 bottom (y=0), 2 right (x=Lx), 3 top (y=Ly), 4 left (x=0); vertex
+// tags 1..4 counterclockwise from the origin; face tag 1.
+type RectModel struct {
+	*Model
+	Lx, Ly float64
+}
+
+// Rect builds the rectangle model.
+func Rect(lx, ly float64) *RectModel {
+	m := New(2)
+	corner := []vec.V{{}, {X: lx}, {X: lx, Y: ly}, {Y: ly}}
+	var vs [4]*Entity
+	for i, p := range corner {
+		vs[i] = m.Add(0, int32(i+1), PointShape{P: p})
+	}
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	var es [4]*Entity
+	for i, e := range edges {
+		es[i] = m.Add(1, int32(i+1),
+			SegmentShape{A: corner[e[0]], B: corner[e[1]]}, vs[e[0]], vs[e[1]])
+	}
+	m.Add(2, 1, RectShape{O: vec.V{}, U: vec.V{X: lx}, V: vec.V{Y: ly}},
+		es[0], es[1], es[2], es[3])
+	return &RectModel{Model: m, Lx: lx, Ly: ly}
+}
+
+// ClassifyPoint returns the model entity a rectangle-boundary-exact
+// point lies on: vertex, edge, or interior face.
+func (m *RectModel) ClassifyPoint(p vec.V, tol float64) Ref {
+	onX0 := math.Abs(p.X) <= tol
+	onX1 := math.Abs(p.X-m.Lx) <= tol
+	onY0 := math.Abs(p.Y) <= tol
+	onY1 := math.Abs(p.Y-m.Ly) <= tol
+	switch {
+	case onX0 && onY0:
+		return Ref{Dim: 0, Tag: 1}
+	case onX1 && onY0:
+		return Ref{Dim: 0, Tag: 2}
+	case onX1 && onY1:
+		return Ref{Dim: 0, Tag: 3}
+	case onX0 && onY1:
+		return Ref{Dim: 0, Tag: 4}
+	case onY0:
+		return Ref{Dim: 1, Tag: 1}
+	case onX1:
+		return Ref{Dim: 1, Tag: 2}
+	case onY1:
+		return Ref{Dim: 1, Tag: 3}
+	case onX0:
+		return Ref{Dim: 1, Tag: 4}
+	}
+	return Ref{Dim: 2, Tag: 1}
+}
+
+// BoxModel is the 3D box domain [0,Lx] x [0,Ly] x [0,Lz]: one model
+// region (tag 1), six faces, twelve edges, eight vertices. Face tags:
+// 1 x=0, 2 x=Lx, 3 y=0, 4 y=Ly, 5 z=0, 6 z=Lz. Edge and vertex tags
+// are derived from the faces they bound.
+type BoxModel struct {
+	*Model
+	Lx, Ly, Lz float64
+	edgeByPair map[[2]int32]*Entity
+	vertByTrip map[[3]int32]*Entity
+}
+
+// Box builds the box model.
+func Box(lx, ly, lz float64) *BoxModel {
+	m := &BoxModel{
+		Model: New(3), Lx: lx, Ly: ly, Lz: lz,
+		edgeByPair: map[[2]int32]*Entity{},
+		vertByTrip: map[[3]int32]*Entity{},
+	}
+	bounds := [3][2]float64{{0, lx}, {0, ly}, {0, lz}}
+	// faceTag(axis, side): axis 0..2, side 0..1 -> 1..6.
+	faceTag := func(axis, side int) int32 { return int32(2*axis + side + 1) }
+
+	// Vertices: all sign combinations; tag from the face triple.
+	var vertTag int32
+	for sx := 0; sx < 2; sx++ {
+		for sy := 0; sy < 2; sy++ {
+			for sz := 0; sz < 2; sz++ {
+				vertTag++
+				p := vec.V{X: bounds[0][sx], Y: bounds[1][sy], Z: bounds[2][sz]}
+				v := m.Add(0, vertTag, PointShape{P: p})
+				trip := [3]int32{faceTag(0, sx), faceTag(1, sy), faceTag(2, sz)}
+				m.vertByTrip[trip] = v
+			}
+		}
+	}
+	vertAt := func(sx, sy, sz int) *Entity {
+		return m.vertByTrip[[3]int32{faceTag(0, sx), faceTag(1, sy), faceTag(2, sz)}]
+	}
+	// Edges: for each axis, 4 edges varying that axis.
+	var edgeTag int32
+	addEdge := func(a, b *Entity, f1, f2 int32) *Entity {
+		edgeTag++
+		pa := a.shape.(PointShape).P
+		pb := b.shape.(PointShape).P
+		e := m.Add(1, edgeTag, SegmentShape{A: pa, B: pb}, a, b)
+		key := [2]int32{f1, f2}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		m.edgeByPair[key] = e
+		return e
+	}
+	for s1 := 0; s1 < 2; s1++ {
+		for s2 := 0; s2 < 2; s2++ {
+			addEdge(vertAt(0, s1, s2), vertAt(1, s1, s2), faceTag(1, s1), faceTag(2, s2)) // x-varying
+			addEdge(vertAt(s1, 0, s2), vertAt(s1, 1, s2), faceTag(0, s1), faceTag(2, s2)) // y-varying
+			addEdge(vertAt(s1, s2, 0), vertAt(s1, s2, 1), faceTag(0, s1), faceTag(1, s2)) // z-varying
+		}
+	}
+	// Faces: one per (axis, side), bounded by the four edges sharing it.
+	axes := [3][2]int{{1, 2}, {0, 2}, {0, 1}} // the two varying axes per face normal axis
+	for axis := 0; axis < 3; axis++ {
+		for side := 0; side < 2; side++ {
+			ft := faceTag(axis, side)
+			a1, a2 := axes[axis][0], axes[axis][1]
+			var down []*Entity
+			for _, other := range []int{a1, a2} {
+				for s := 0; s < 2; s++ {
+					key := [2]int32{ft, faceTag(other, s)}
+					if key[0] > key[1] {
+						key[0], key[1] = key[1], key[0]
+					}
+					down = append(down, m.edgeByPair[key])
+				}
+			}
+			o := vec.V{}
+			o = o.WithComp(axis, bounds[axis][side])
+			u := vec.V{}
+			u = u.WithComp(a1, bounds[a1][1])
+			v := vec.V{}
+			v = v.WithComp(a2, bounds[a2][1])
+			m.Add(2, ft, RectShape{O: o, U: u, V: v}, down...)
+		}
+	}
+	var faces []*Entity
+	for _, f := range m.ents[2] {
+		faces = append(faces, f)
+	}
+	m.Add(3, 1, nil, faces...)
+	return m
+}
+
+// ClassifyPoint returns the model entity a box-boundary-exact point
+// lies on: vertex, edge, face, or the interior region.
+func (m *BoxModel) ClassifyPoint(p vec.V, tol float64) Ref {
+	var hit []int32
+	check := func(coord, lo, hi float64, axis int) {
+		if math.Abs(coord-lo) <= tol {
+			hit = append(hit, int32(2*axis+1))
+		} else if math.Abs(coord-hi) <= tol {
+			hit = append(hit, int32(2*axis+2))
+		}
+	}
+	check(p.X, 0, m.Lx, 0)
+	check(p.Y, 0, m.Ly, 1)
+	check(p.Z, 0, m.Lz, 2)
+	switch len(hit) {
+	case 0:
+		return Ref{Dim: 3, Tag: 1}
+	case 1:
+		return Ref{Dim: 2, Tag: hit[0]}
+	case 2:
+		key := [2]int32{hit[0], hit[1]}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		return m.edgeByPair[key].Ref
+	default:
+		return m.vertByTrip[[3]int32{hit[0], hit[1], hit[2]}].Ref
+	}
+}
+
+// Wing returns a box-shaped wing surrogate: span along x, chord along
+// y, thickness along z. The shock-adaptation experiment (Fig 13 of the
+// paper) resolves a planar front across this domain.
+func Wing(span, chord, thick float64) *BoxModel { return Box(span, chord, thick) }
+
+// VesselModel is the bent-tube surrogate for the paper's abdominal
+// aorta aneurysm (AAA) model: a tube swept along a curved centerline
+// whose radius bulges near the middle (the aneurysm). Model entities:
+// region 1; faces: 1 wall, 2 inlet cap (t=0), 3 outlet cap (t=1);
+// edges: 1 inlet rim, 2 outlet rim.
+type VesselModel struct {
+	*Model
+	// Length is the centerline extent along x.
+	Length float64
+	// R0 is the nominal tube radius; Bulge the fractional radius
+	// increase at the aneurysm; BulgeAt/BulgeWidth its center and
+	// width in centerline parameter space; Bend the lateral centerline
+	// deflection.
+	R0, Bulge, BulgeAt, BulgeWidth, Bend float64
+}
+
+// Vessel builds the AAA-surrogate model.
+func Vessel(length, r0, bulge, bend float64) *VesselModel {
+	m := &VesselModel{
+		Model: New(3), Length: length,
+		R0: r0, Bulge: bulge, BulgeAt: 0.5, BulgeWidth: 0.15, Bend: bend,
+	}
+	center := m.Center
+	radius := m.Radius
+	n0 := tangent(center, 0)
+	n1 := tangent(center, 1)
+	rim0 := m.Add(1, 1, CircleShape{C: center(0), N: n0, R: radius(0)})
+	rim1 := m.Add(1, 2, CircleShape{C: center(1), N: n1, R: radius(1)})
+	wall := m.Add(2, 1, TubeWallShape{Center: center, Radius: radius}, rim0, rim1)
+	cap0 := m.Add(2, 2, DiskShape{C: center(0), N: n0, R: radius(0)}, rim0)
+	cap1 := m.Add(2, 3, DiskShape{C: center(1), N: n1, R: radius(1)}, rim1)
+	m.Add(3, 1, nil, wall, cap0, cap1)
+	return m
+}
+
+// Center evaluates the vessel centerline at parameter t in [0,1].
+func (m *VesselModel) Center(t float64) vec.V {
+	return vec.V{X: m.Length * t, Y: m.Bend * math.Sin(math.Pi*t)}
+}
+
+// Radius evaluates the vessel cross-section radius at parameter t.
+func (m *VesselModel) Radius(t float64) float64 {
+	d := (t - m.BulgeAt) / m.BulgeWidth
+	return m.R0 * (1 + m.Bulge*math.Exp(-d*d))
+}
+
+// Frame returns an orthonormal frame at centerline parameter t: the
+// tangent T and two normals N1, N2 spanning the cross-section plane.
+// The frame varies smoothly with t for the in-plane centerlines Vessel
+// uses, so structured cross-section grids stay untwisted.
+func (m *VesselModel) Frame(t float64) (T, N1, N2 vec.V) {
+	T = tangent(m.Center, t)
+	up := vec.V{Z: 1}
+	N1 = up.Cross(T).Unit()
+	if N1.Norm() == 0 {
+		N1 = vec.V{Y: 1}
+	}
+	N2 = T.Cross(N1).Unit()
+	return T, N1, N2
+}

@@ -1,0 +1,182 @@
+package gmi
+
+import (
+	"math"
+
+	"github.com/fastmath/pumi-go/internal/vec"
+)
+
+// PointShape is the geometry of a model vertex.
+type PointShape struct{ P vec.V }
+
+// Closest returns the vertex position.
+func (s PointShape) Closest(vec.V) vec.V { return s.P }
+
+// SegmentShape is the geometry of a straight model edge.
+type SegmentShape struct{ A, B vec.V }
+
+// Closest projects p onto the segment.
+func (s SegmentShape) Closest(p vec.V) vec.V {
+	q, _ := vec.ClosestOnSegment(p, s.A, s.B)
+	return q
+}
+
+// RectShape is the geometry of a planar rectangular model face: the
+// point set O + u*U + v*V for u,v in [0,1].
+type RectShape struct{ O, U, V vec.V }
+
+// Closest projects p onto the plane and clamps to the rectangle.
+func (s RectShape) Closest(p vec.V) vec.V {
+	d := p.Sub(s.O)
+	u := clamp01(d.Dot(s.U) / s.U.Norm2())
+	v := clamp01(d.Dot(s.V) / s.V.Norm2())
+	return s.O.Add(s.U.Scale(u)).Add(s.V.Scale(v))
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// Curve is a parametric space curve on t in [0, 1].
+type Curve func(t float64) vec.V
+
+// RadiusFn gives a tube's cross-section radius along its centerline.
+type RadiusFn func(t float64) float64
+
+// TubeWallShape is the lateral wall of a tube swept along a centerline
+// with varying radius — the vessel wall of the AAA surrogate.
+type TubeWallShape struct {
+	Center Curve
+	Radius RadiusFn
+}
+
+// Closest finds the nearest centerline parameter by sampled golden
+// refinement and projects p radially onto the wall there.
+func (s TubeWallShape) Closest(p vec.V) vec.V {
+	t := nearestParam(s.Center, p)
+	c := s.Center(t)
+	// Radial direction orthogonal to the tangent.
+	tan := tangent(s.Center, t)
+	d := p.Sub(c)
+	d = d.Sub(tan.Scale(d.Dot(tan)))
+	if d.Norm() == 0 {
+		// p on the centerline: any radial direction is valid; pick one
+		// orthogonal to the tangent deterministically.
+		d = arbitraryNormal(tan)
+	}
+	return c.Add(d.Unit().Scale(s.Radius(t)))
+}
+
+// DiskShape is a flat circular model face (a tube end cap).
+type DiskShape struct {
+	C vec.V // center
+	N vec.V // unit normal
+	R float64
+}
+
+// Closest projects p onto the disk's plane and clamps to its radius.
+func (s DiskShape) Closest(p vec.V) vec.V {
+	d := p.Sub(s.C)
+	inPlane := d.Sub(s.N.Scale(d.Dot(s.N)))
+	if r := inPlane.Norm(); r > s.R {
+		inPlane = inPlane.Scale(s.R / r)
+	}
+	return s.C.Add(inPlane)
+}
+
+// CircleShape is a circular model edge (a tube rim).
+type CircleShape struct {
+	C vec.V
+	N vec.V
+	R float64
+}
+
+// Closest projects p onto the circle.
+func (s CircleShape) Closest(p vec.V) vec.V {
+	d := p.Sub(s.C)
+	inPlane := d.Sub(s.N.Scale(d.Dot(s.N)))
+	if inPlane.Norm() == 0 {
+		inPlane = arbitraryNormal(s.N)
+	}
+	return s.C.Add(inPlane.Unit().Scale(s.R))
+}
+
+// nearestParam minimizes |curve(t) - p| over t in [0,1] with coarse
+// sampling followed by ternary-search refinement of the best bracket.
+func nearestParam(c Curve, p vec.V) float64 {
+	const samples = 64
+	best, bestD := 0.0, math.Inf(1)
+	for i := 0; i <= samples; i++ {
+		t := float64(i) / samples
+		if d := c(t).Sub(p).Norm2(); d < bestD {
+			best, bestD = t, d
+		}
+	}
+	lo := math.Max(0, best-1.0/samples)
+	hi := math.Min(1, best+1.0/samples)
+	for iter := 0; iter < 40; iter++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if c(m1).Sub(p).Norm2() < c(m2).Sub(p).Norm2() {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func tangent(c Curve, t float64) vec.V {
+	const h = 1e-5
+	lo, hi := t-h, t+h
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return c(hi).Sub(c(lo)).Unit()
+}
+
+// arbitraryNormal returns a deterministic unit vector orthogonal to n.
+func arbitraryNormal(n vec.V) vec.V {
+	ref := vec.V{X: 1}
+	if math.Abs(n.X) > 0.9 {
+		ref = vec.V{Y: 1}
+	}
+	return n.Cross(ref).Unit()
+}
+
+// NormalShape is implemented by shapes that can report an outward (or
+// consistently oriented) unit surface normal — the second kind of shape
+// interrogation mesh-based analyses ask the geometric model for.
+type NormalShape interface {
+	Normal(p vec.V) vec.V
+}
+
+// Normal returns the rectangle's plane normal (orientation follows the
+// U x V order of construction).
+func (s RectShape) Normal(vec.V) vec.V { return s.U.Cross(s.V).Unit() }
+
+// Normal returns the outward radial direction of the tube wall at the
+// centerline parameter nearest to p.
+func (s TubeWallShape) Normal(p vec.V) vec.V {
+	t := nearestParam(s.Center, p)
+	c := s.Center(t)
+	tan := tangent(s.Center, t)
+	d := p.Sub(c)
+	d = d.Sub(tan.Scale(d.Dot(tan)))
+	if d.Norm() == 0 {
+		d = arbitraryNormal(tan)
+	}
+	return d.Unit()
+}
+
+// Normal returns the disk's plane normal.
+func (s DiskShape) Normal(vec.V) vec.V { return s.N.Unit() }

@@ -1,0 +1,371 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fastmath/pumi-go/internal/gmi"
+)
+
+// Down returns e's one-level downward adjacent entities in canonical
+// order. The returned slice is freshly allocated; use DownTo to reuse a
+// buffer in hot loops.
+func (m *Mesh) Down(e Ent) []Ent {
+	return m.DownTo(e, nil)
+}
+
+// DownTo appends e's one-level downward adjacencies to buf and returns
+// it.
+func (m *Mesh) DownTo(e Ent, buf []Ent) []Ent {
+	td := &m.td[e.T]
+	base := int(e.I) * td.degree
+	return append(buf, td.down[base:base+td.degree]...)
+}
+
+// Up returns the one-level upward adjacent entities of e (most recently
+// created first — the use-list order). The slice is freshly allocated;
+// use UpTo to reuse a buffer.
+func (m *Mesh) Up(e Ent) []Ent {
+	return m.UpTo(e, nil)
+}
+
+// UpTo appends e's one-level upward adjacencies to buf and returns it.
+// An entity may appear once per use (e.g. both end vertices of a
+// collapsed edge); uses of the same entity are deduplicated.
+func (m *Mesh) UpTo(e Ent, buf []Ent) []Ent {
+	start := len(buf)
+	for u := m.td[e.T].firstUse[e.I]; u.e.Ok(); u = m.useNext(u) {
+		dup := false
+		for _, prev := range buf[start:] {
+			if prev == u.e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, u.e)
+		}
+	}
+	return buf
+}
+
+// UpCount returns the number of distinct one-level upward adjacencies.
+func (m *Mesh) UpCount(e Ent) int {
+	n := 0
+	var seen [2]Ent // entities rarely repeat more than twice
+	nSeen := 0
+	for u := m.td[e.T].firstUse[e.I]; u.e.Ok(); u = m.useNext(u) {
+		dup := false
+		for i := 0; i < nSeen; i++ {
+			if seen[i] == u.e {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if nSeen < len(seen) {
+			seen[nSeen] = u.e
+			nSeen++
+			n++
+			continue
+		}
+		// Fall back to the allocating path for pathological valence.
+		return len(m.Up(e))
+	}
+	return n
+}
+
+// HasUp reports whether e bounds any higher-dimension entity.
+func (m *Mesh) HasUp(e Ent) bool { return m.td[e.T].firstUse[e.I].e.Ok() }
+
+// Adjacent returns the entities of dimension dim adjacent to e,
+// traversing one level at a time through the complete representation.
+// Same-dimension queries return nil (use BridgeAdjacent for
+// second-order adjacency). Results are deduplicated and sorted for
+// determinism.
+func (m *Mesh) Adjacent(e Ent, dim int) []Ent {
+	ed := e.Dim()
+	if dim == ed {
+		return nil
+	}
+	cur := []Ent{e}
+	for d := ed; d < dim; d++ {
+		cur = m.stepUp(cur)
+	}
+	for d := ed; d > dim; d-- {
+		cur = m.stepDown(cur)
+	}
+	sort.Slice(cur, func(i, j int) bool { return cur[i].Less(cur[j]) })
+	return cur
+}
+
+// appendUnique adds e to out unless present. Local adjacency sets are
+// small (bounded by valence), so a linear scan beats hashing; switch to
+// a map only for pathological sizes.
+func appendUnique(out []Ent, e Ent) []Ent {
+	for _, x := range out {
+		if x == e {
+			return out
+		}
+	}
+	return append(out, e)
+}
+
+func (m *Mesh) stepUp(ents []Ent) []Ent {
+	var out []Ent
+	for _, e := range ents {
+		for u := m.td[e.T].firstUse[e.I]; u.e.Ok(); u = m.useNext(u) {
+			out = appendUnique(out, u.e)
+		}
+	}
+	return out
+}
+
+func (m *Mesh) stepDown(ents []Ent) []Ent {
+	var out []Ent
+	for _, e := range ents {
+		td := &m.td[e.T]
+		base := int(e.I) * td.degree
+		for _, d := range td.down[base : base+td.degree] {
+			out = appendUnique(out, d)
+		}
+	}
+	return out
+}
+
+// BridgeAdjacent returns the second-order adjacency of e: entities of
+// dimension targetDim reachable through shared entities of dimension
+// bridgeDim (e.g. the elements sharing a face with an element). e
+// itself is excluded; results are sorted.
+func (m *Mesh) BridgeAdjacent(e Ent, bridgeDim, targetDim int) []Ent {
+	seen := map[Ent]bool{e: true}
+	var out []Ent
+	for _, b := range m.Adjacent(e, bridgeDim) {
+		for _, t := range m.Adjacent(b, targetDim) {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Verts returns e's vertices in an order consistent with the canonical
+// templates in downVerts: for faces the edge cycle order, for regions
+// an order with the base face first. Regions may be returned in a
+// rotation/reflection of their creation order; all derived quantities
+// (volumes, shape functions) treat that as an equivalent labeling.
+func (m *Mesh) Verts(e Ent) []Ent {
+	switch e.Dim() {
+	case 0:
+		return []Ent{e}
+	case 1:
+		return m.Down(e)
+	case 2:
+		return m.faceVerts(e)
+	default:
+		return m.regionVerts(e)
+	}
+}
+
+// faceVerts recovers a face's vertex cycle from its edges: vertex i is
+// the vertex shared by edges i-1 and i.
+func (m *Mesh) faceVerts(f Ent) []Ent {
+	edges := m.Down(f)
+	n := len(edges)
+	out := make([]Ent, n)
+	for i := 0; i < n; i++ {
+		prev := edges[(i+n-1)%n]
+		out[i] = m.sharedVert(prev, edges[i])
+	}
+	return out
+}
+
+func (m *Mesh) sharedVert(e1, e2 Ent) Ent {
+	a := m.Down(e1)
+	b := m.Down(e2)
+	for _, v1 := range a {
+		for _, v2 := range b {
+			if v1 == v2 {
+				return v1
+			}
+		}
+	}
+	panic(fmt.Sprintf("mesh: edges %v and %v share no vertex", e1, e2))
+}
+
+// regionVerts recovers a region's vertices: the base face's cycle plus
+// the remaining vertices matched through mesh edges.
+func (m *Mesh) regionVerts(r Ent) []Ent {
+	faces := m.Down(r)
+	base := m.faceVerts(faces[0])
+	inBase := map[Ent]bool{}
+	for _, v := range base {
+		inBase[v] = true
+	}
+	switch r.T {
+	case Tet, Pyramid:
+		// One apex vertex: any vertex of the second face not in the base.
+		for _, v := range m.faceVerts(faces[1]) {
+			if !inBase[v] {
+				return append(base, v)
+			}
+		}
+		panic(fmt.Sprintf("mesh: %v has no apex vertex", r))
+	case Hex, Prism:
+		// Top face vertices matched to base vertices through vertical
+		// mesh edges of this region.
+		top := m.faceVerts(faces[1])
+		inTop := map[Ent]bool{}
+		for _, v := range top {
+			inTop[v] = true
+		}
+		out := append([]Ent{}, base...)
+		for _, v := range base {
+			partner := NilEnt
+			for _, edge := range m.Adjacent(v, 1) {
+				o := m.otherVert(edge, v)
+				if inTop[o] && m.edgeInRegion(edge, r) {
+					partner = o
+					break
+				}
+			}
+			if !partner.Ok() {
+				panic(fmt.Sprintf("mesh: no vertical partner for %v in %v", v, r))
+			}
+			out = append(out, partner)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("mesh: Verts unsupported for %v", r.T))
+}
+
+func (m *Mesh) otherVert(edge, v Ent) Ent {
+	d := m.Down(edge)
+	if d[0] == v {
+		return d[1]
+	}
+	return d[0]
+}
+
+func (m *Mesh) edgeInRegion(edge, r Ent) bool {
+	for _, f := range m.Adjacent(edge, 2) {
+		for u := m.td[f.T].firstUse[f.I]; u.e.Ok(); u = m.useNext(u) {
+			if u.e == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindByDown returns the live entity of type t whose downward set
+// equals the given entities (order-insensitive), or NilEnt.
+func (m *Mesh) FindByDown(t Type, down []Ent) Ent {
+	d0 := down[0]
+	for u := m.td[d0.T].firstUse[d0.I]; u.e.Ok(); u = m.useNext(u) {
+		if u.e.T != t {
+			continue
+		}
+		if m.downSetEquals(u.e, down) {
+			return u.e
+		}
+	}
+	return NilEnt
+}
+
+func (m *Mesh) downSetEquals(e Ent, down []Ent) bool {
+	td := &m.td[e.T]
+	base := int(e.I) * td.degree
+	if td.degree != len(down) {
+		return false
+	}
+	// Multiset equality: each stored entity may be matched once.
+	var used [8]bool
+	for _, want := range down {
+		found := false
+		for k, have := range td.down[base : base+td.degree] {
+			if !used[k] && have == want {
+				used[k] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// FindFromVerts returns the live entity of type t whose vertex set
+// equals verts, or NilEnt.
+func (m *Mesh) FindFromVerts(t Type, verts []Ent) Ent {
+	if t == Vertex {
+		return verts[0]
+	}
+	if t == Edge {
+		return m.FindByDown(Edge, verts)
+	}
+	// Walk candidates adjacent to the first vertex.
+	for _, cand := range m.Adjacent(verts[0], t.Dim()) {
+		if cand.T != t {
+			continue
+		}
+		if m.vertSetEquals(cand, verts) {
+			return cand
+		}
+	}
+	return NilEnt
+}
+
+func (m *Mesh) vertSetEquals(e Ent, verts []Ent) bool {
+	have := m.Adjacent(e, 0)
+	if len(have) != len(verts) {
+		return false
+	}
+	for _, want := range verts {
+		found := false
+		for _, h := range have {
+			if h == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildFromVerts creates (or finds, if already present) the entity of
+// type t with the given canonical vertex order, creating any missing
+// intermediate entities. Intermediate entities are classified on c as
+// well unless they already exist; callers typically reclassify boundary
+// sides afterwards or pass the region classification. It returns the
+// entity.
+func (m *Mesh) BuildFromVerts(t Type, verts []Ent, c gmi.Ref) Ent {
+	if len(verts) != t.VertCount() {
+		panic(fmt.Sprintf("mesh: %v needs %d vertices, got %d", t, t.VertCount(), len(verts)))
+	}
+	if t == Vertex {
+		return verts[0]
+	}
+	if e := m.FindFromVerts(t, verts); e.Ok() {
+		return e
+	}
+	down := make([]Ent, len(downTypes[t]))
+	for i, dt := range downTypes[t] {
+		dv := make([]Ent, len(downVerts[t][i]))
+		for j, li := range downVerts[t][i] {
+			dv[j] = verts[li]
+		}
+		down[i] = m.BuildFromVerts(dt, dv, c)
+	}
+	return m.CreateEntity(t, c, down)
+}

@@ -1,0 +1,156 @@
+package mesh
+
+import "fmt"
+
+// CheckConsistency verifies the structural invariants of the complete
+// representation and returns the first violation found:
+//
+//   - every downward adjacency of a live entity is live and of the
+//     expected dimension;
+//   - up/down symmetry: d appears in e's downward list iff e appears in
+//     d's use list;
+//   - face edge cycles close (consecutive edges share a vertex);
+//   - every region's faces form a closed shell (each edge of the region
+//     bounds exactly two of its faces);
+//   - classification, when a model is attached, resolves to a model
+//     entity of dimension >= the entity's dimension.
+func (m *Mesh) CheckConsistency() error {
+	for t := Type(0); t < TypeCount; t++ {
+		td := &m.td[t]
+		for i := int32(0); i < td.slots(); i++ {
+			if !td.alive[i] {
+				continue
+			}
+			e := Ent{T: t, I: i}
+			if err := m.checkEntity(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) checkEntity(e Ent) error {
+	td := &m.td[e.T]
+	base := int(e.I) * td.degree
+	for j := 0; j < td.degree; j++ {
+		d := td.down[base+j]
+		if !m.Alive(d) {
+			return fmt.Errorf("mesh: %v downward[%d] = %v is not alive", e, j, d)
+		}
+		if d.Dim() != downTypes[e.T][j].Dim() {
+			return fmt.Errorf("mesh: %v downward[%d] = %v has wrong dimension", e, j, d)
+		}
+		// Up/down symmetry: find the use.
+		found := false
+		for u := m.td[d.T].firstUse[d.I]; u.e.Ok(); u = m.useNext(u) {
+			if u.e == e && int(u.slot) == j {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("mesh: %v downward[%d] = %v lacks the matching use", e, j, d)
+		}
+	}
+	// Use lists only reference live entities pointing back at us.
+	for u := m.td[e.T].firstUse[e.I]; u.e.Ok(); u = m.useNext(u) {
+		if !m.Alive(u.e) {
+			return fmt.Errorf("mesh: %v has use by dead entity %v", e, u.e)
+		}
+		utd := &m.td[u.e.T]
+		if utd.down[int(u.e.I)*utd.degree+int(u.slot)] != e {
+			return fmt.Errorf("mesh: %v use by %v slot %d does not point back", e, u.e, u.slot)
+		}
+	}
+	switch e.Dim() {
+	case 2:
+		if err := m.checkFaceCycle(e); err != nil {
+			return err
+		}
+	case 3:
+		if err := m.checkRegionShell(e); err != nil {
+			return err
+		}
+	}
+	if m.model != nil {
+		c := m.Classification(e)
+		if c.Valid() {
+			if m.model.Get(c) == nil {
+				return fmt.Errorf("mesh: %v classified on unknown %v", e, c)
+			}
+			if int(c.Dim) < e.Dim() {
+				return fmt.Errorf("mesh: %v (dim %d) classified on lower-dim %v", e, e.Dim(), c)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) checkFaceCycle(f Ent) error {
+	edges := m.Down(f)
+	n := len(edges)
+	for i := 0; i < n; i++ {
+		a, b := edges[i], edges[(i+1)%n]
+		shared := false
+		for _, v1 := range m.Down(a) {
+			for _, v2 := range m.Down(b) {
+				if v1 == v2 {
+					shared = true
+				}
+			}
+		}
+		if !shared {
+			return fmt.Errorf("mesh: face %v edges %v,%v do not share a vertex", f, a, b)
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) checkRegionShell(r Ent) error {
+	faces := m.Down(r)
+	edgeCount := map[Ent]int{}
+	for _, f := range faces {
+		for _, e := range m.Down(f) {
+			edgeCount[e]++
+		}
+	}
+	for e, n := range edgeCount {
+		if n != 2 {
+			return fmt.Errorf("mesh: region %v edge %v bounds %d of its faces, want 2", r, e, n)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a part's entity counts per dimension.
+type Stats struct {
+	Counts   [4]int
+	Shared   [4]int
+	Ghosts   [4]int
+	Owned    [4]int
+	PartID   int32
+	Boundary int // total shared entities
+}
+
+// ComputeStats tallies the part's entities.
+func (m *Mesh) ComputeStats() Stats {
+	s := Stats{PartID: m.part}
+	for d := 0; d <= m.dim; d++ {
+		for e := range m.Iter(d) {
+			s.Counts[d]++
+			if m.IsGhost(e) {
+				s.Ghosts[d]++
+				continue
+			}
+			if m.IsShared(e) {
+				s.Shared[d]++
+				s.Boundary++
+			}
+			if m.IsOwned(e) {
+				s.Owned[d]++
+			}
+		}
+	}
+	return s
+}

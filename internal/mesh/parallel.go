@@ -1,0 +1,142 @@
+package mesh
+
+import (
+	"sort"
+
+	"github.com/fastmath/pumi-go/internal/ds"
+)
+
+// Remote copy management. A part-boundary entity is duplicated on every
+// part whose higher-dimension entities it bounds; each copy records the
+// handles of its siblings on the other parts. The partition layer
+// maintains these links during migration and ghosting.
+
+// SetRemote records that entity e has a copy named h on the given peer
+// part.
+func (m *Mesh) SetRemote(e Ent, part int32, h Ent) {
+	byPart := m.remotes[e.T][e.I]
+	if byPart == nil {
+		byPart = map[int32]Ent{}
+		m.remotes[e.T][e.I] = byPart
+	}
+	byPart[part] = h
+}
+
+// ClearRemotes removes all remote copy links of e (the entity becomes
+// interior from this part's point of view).
+func (m *Mesh) ClearRemotes(e Ent) {
+	delete(m.remotes[e.T], e.I)
+}
+
+// RemoveRemote removes the link to one peer part's copy.
+func (m *Mesh) RemoveRemote(e Ent, part int32) {
+	byPart := m.remotes[e.T][e.I]
+	delete(byPart, part)
+	if len(byPart) == 0 {
+		delete(m.remotes[e.T], e.I)
+	}
+}
+
+// RemoteCopy returns e's handle on the given peer part; ok is false if
+// no copy is recorded there.
+func (m *Mesh) RemoteCopy(e Ent, part int32) (Ent, bool) {
+	h, ok := m.remotes[e.T][e.I][part]
+	return h, ok
+}
+
+// RemoteParts returns the peer parts holding copies of e, sorted.
+func (m *Mesh) RemoteParts(e Ent) []int32 {
+	byPart := m.remotes[e.T][e.I]
+	if len(byPart) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(byPart))
+	for p := range byPart {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Remotes returns (part, handle) pairs for all copies of e, sorted by
+// part.
+func (m *Mesh) Remotes(e Ent) []RemoteCopyRef {
+	byPart := m.remotes[e.T][e.I]
+	if len(byPart) == 0 {
+		return nil
+	}
+	out := make([]RemoteCopyRef, 0, len(byPart))
+	for p, h := range byPart {
+		out = append(out, RemoteCopyRef{Part: p, Ent: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Part < out[j].Part })
+	return out
+}
+
+// RemoteCopyRef names an entity copy on a peer part.
+type RemoteCopyRef struct {
+	Part int32
+	Ent  Ent
+}
+
+// IsShared reports whether e lies on a part boundary (has remote
+// copies). Ghost copies are not shared in this sense.
+func (m *Mesh) IsShared(e Ent) bool {
+	return len(m.remotes[e.T][e.I]) > 0 && !m.IsGhost(e)
+}
+
+// Residence returns the residence part set of e: the ids of all parts
+// where e exists — this part plus all remote-copy parts.
+func (m *Mesh) Residence(e Ent) ds.IntSet {
+	s := ds.NewIntSet(m.part)
+	for p := range m.remotes[e.T][e.I] {
+		s.Add(p)
+	}
+	return s
+}
+
+// Owner returns the owning part of e: the part with the right to
+// modify the entity. Interior entities are owned by their own part.
+func (m *Mesh) Owner(e Ent) int32 { return m.td[e.T].owner[e.I] }
+
+// SetOwner assigns e's owning part.
+func (m *Mesh) SetOwner(e Ent, part int32) { m.td[e.T].owner[e.I] = part }
+
+// IsOwned reports whether this part owns e.
+func (m *Mesh) IsOwned(e Ent) bool { return m.Owner(e) == m.part }
+
+// IsGhost reports whether e is a read-only ghost copy localized from
+// another part.
+func (m *Mesh) IsGhost(e Ent) bool { return m.Flags(e)&FlagGhost != 0 }
+
+// SetGhost marks or unmarks e as a ghost copy.
+func (m *Mesh) SetGhost(e Ent, on bool) { m.SetFlag(e, FlagGhost, on) }
+
+// PartBoundary iterates the shared (part-boundary) entities of one
+// dimension in slot order.
+func (m *Mesh) PartBoundary(dim int) ds.Seq[Ent] {
+	return ds.Filter(m.Iter(dim), m.IsShared)
+}
+
+// NeighborParts returns the peer parts this part shares entities of
+// dimension dim with ("a part Pi neighbors part Pj over entity type d
+// if they share d dimensional mesh entities on part boundary"), sorted.
+func (m *Mesh) NeighborParts(dim int) []int32 {
+	seen := map[int32]bool{}
+	for _, t := range typesOfDim[dim] {
+		for i, byPart := range m.remotes[t] {
+			if !m.td[t].alive[i] || m.td[t].flags[i]&FlagGhost != 0 {
+				continue
+			}
+			for p := range byPart {
+				seen[p] = true
+			}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,113 @@
+// Package parma implements ParMA: dynamic load balancing through the
+// direct use of mesh adjacency information, as an alternative to (and
+// refinement of) graph/hypergraph partitioners. Two procedures are
+// provided, following the paper: multi-criteria partition improvement
+// (greedy iterative diffusion honoring a priority list of entity types)
+// and heavy part splitting (knapsack merges of light parts into empty
+// parts, then splitting of heavy parts).
+package parma
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Priority is a list of priority levels, highest first; each level
+// lists the entity dimensions balanced together. Within one level the
+// dimensions are processed in increasing topological dimension, as the
+// paper specifies.
+type Priority [][]int
+
+// ParsePriority parses the paper's priority notation, e.g. "Vtx>Rgn",
+// "Vtx=Edge>Rgn", "Edge=Face>Rgn". Recognized names (case-insensitive):
+// Vtx, Edge, Face, Rgn (and V/E/F/R shorthands).
+func ParsePriority(s string) (Priority, error) {
+	var out Priority
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("parma: empty priority spec")
+	}
+	seen := map[int]bool{}
+	for _, level := range strings.Split(s, ">") {
+		var dims []int
+		for _, name := range strings.Split(level, "=") {
+			d, err := parseEntityName(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			if seen[d] {
+				return nil, fmt.Errorf("parma: %q appears twice in %q", name, s)
+			}
+			seen[d] = true
+			dims = append(dims, d)
+		}
+		// Equal-priority entities are traversed in increasing dimension.
+		for i := 1; i < len(dims); i++ {
+			for j := i; j > 0 && dims[j] < dims[j-1]; j-- {
+				dims[j], dims[j-1] = dims[j-1], dims[j]
+			}
+		}
+		out = append(out, dims)
+	}
+	return out, nil
+}
+
+func parseEntityName(s string) (int, error) {
+	switch strings.ToLower(s) {
+	case "vtx", "v", "vertex":
+		return 0, nil
+	case "edge", "e":
+		return 1, nil
+	case "face", "f":
+		return 2, nil
+	case "rgn", "r", "region", "elm", "element":
+		return 3, nil
+	}
+	return 0, fmt.Errorf("parma: unknown entity type %q", s)
+}
+
+// String renders the priority in the paper's notation.
+func (p Priority) String() string {
+	names := []string{"Vtx", "Edge", "Face", "Rgn"}
+	var levels []string
+	for _, level := range p {
+		var parts []string
+		for _, d := range level {
+			parts = append(parts, names[d])
+		}
+		levels = append(levels, strings.Join(parts, "="))
+	}
+	return strings.Join(levels, ">")
+}
+
+// Dims returns all dimensions mentioned, in processing order.
+func (p Priority) Dims() []int {
+	var out []int
+	for _, level := range p {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// higherPriority returns the dimensions of strictly higher priority
+// than the level at index li.
+func (p Priority) higherPriority(li int) []int {
+	var out []int
+	for i := 0; i < li; i++ {
+		out = append(out, p[i]...)
+	}
+	return out
+}
+
+// guarded returns the dimensions whose balance must not be harmed while
+// balancing dim t of level li: all strictly-higher-priority dimensions
+// plus t's equal-priority peers (the paper's rule — e.g. for
+// Rgn>Face=Edge>Vtx, face balancing must not harm regions or edges).
+func (p Priority) guarded(li, t int) []int {
+	out := p.higherPriority(li)
+	for _, d := range p[li] {
+		if d != t {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package partition implements PUMI's distributed mesh: parts assigned
+// to processes, part-boundary entities duplicated across parts with
+// remote-copy links, the partition model classifying boundary entities
+// by residence part set, and the distributed manipulation services built
+// on them — mesh migration, ghosting, multiple parts per process, and
+// distributed verification.
+//
+// Entity identity across parts is tracked with 64-bit global ids
+// maintained by this layer through mesh lifecycle hooks; migration and
+// ghosting stitch remote copies by global id. Ids of entities created
+// after initial numbering embed the creating part, so they stay unique
+// without communication.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// freshGidBase is the bit position above which part-scoped id ranges
+// live: initial serial numbering stays below 1<<freshGidBase.
+const freshGidBase = 40
+
+// Part is one mesh part plus the bookkeeping the distribution layer
+// needs: global ids per entity and the reverse index.
+type Part struct {
+	M *mesh.Mesh
+
+	gids    [mesh.TypeCount][]int64
+	byGid   [4]map[int64]mesh.Ent
+	counter int64
+
+	// Ghost bookkeeping: local ghost element -> its home copy, and
+	// local element -> its ghost copies on other parts.
+	nGhosts   int
+	ghostHome map[mesh.Ent]mesh.RemoteCopyRef
+	ghostsOf  map[mesh.Ent][]mesh.RemoteCopyRef
+}
+
+func newPart(m *mesh.Mesh) *Part {
+	p := &Part{
+		M:         m,
+		ghostHome: map[mesh.Ent]mesh.RemoteCopyRef{},
+		ghostsOf:  map[mesh.Ent][]mesh.RemoteCopyRef{},
+	}
+	for d := range p.byGid {
+		p.byGid[d] = map[int64]mesh.Ent{}
+	}
+	m.OnDestroy(func(e mesh.Ent) { p.dropGid(e) })
+	m.OnCreate(func(e mesh.Ent) { p.setGid(e, p.freshGid()) })
+	return p
+}
+
+// Gid returns e's global id (-1 if never assigned).
+func (p *Part) Gid(e mesh.Ent) int64 {
+	s := p.gids[e.T]
+	if int(e.I) >= len(s) {
+		return -1
+	}
+	return s[e.I]
+}
+
+// FindGid resolves a global id of the given dimension to the local
+// entity, if this part holds a copy.
+func (p *Part) FindGid(dim int, gid int64) (mesh.Ent, bool) {
+	e, ok := p.byGid[dim][gid]
+	return e, ok
+}
+
+func (p *Part) setGid(e mesh.Ent, gid int64) {
+	s := p.gids[e.T]
+	for int(e.I) >= len(s) {
+		s = append(s, -1)
+	}
+	if old := s[e.I]; old >= 0 {
+		delete(p.byGid[e.Dim()], old)
+	}
+	s[e.I] = gid
+	p.gids[e.T] = s
+	p.byGid[e.Dim()][gid] = e
+}
+
+func (p *Part) dropGid(e mesh.Ent) {
+	s := p.gids[e.T]
+	if int(e.I) < len(s) && s[e.I] >= 0 {
+		delete(p.byGid[e.Dim()], s[e.I])
+		s[e.I] = -1
+	}
+}
+
+// freshGid allocates a new globally unique id scoped to this part.
+func (p *Part) freshGid() int64 {
+	p.counter++
+	return (int64(p.M.Part()+1) << freshGidBase) | p.counter
+}
+
+// assignSerialGids numbers all current entities 0..n-1 per dimension
+// (used on a freshly generated serial mesh).
+func (p *Part) assignSerialGids() {
+	for d := 0; d <= p.M.Dim(); d++ {
+		var next int64
+		for e := range p.M.Iter(d) {
+			p.setGid(e, next)
+			next++
+		}
+	}
+}
+
+// DMesh is a distributed mesh: the local parts of this rank plus the
+// global layout. Parts are laid out in contiguous blocks of K per rank
+// (multiple parts per process), so part p lives on rank p/K.
+type DMesh struct {
+	Ctx   *pcu.Ctx
+	Model *gmi.Model
+	Dim   int
+	K     int // parts per rank
+	Parts []*Part
+}
+
+// New creates a distributed mesh with k empty parts on every rank.
+func New(ctx *pcu.Ctx, model *gmi.Model, dim, k int) *DMesh {
+	if k < 1 {
+		panic(fmt.Sprintf("partition: parts per rank %d < 1", k))
+	}
+	dm := &DMesh{Ctx: ctx, Model: model, Dim: dim, K: k}
+	for i := 0; i < k; i++ {
+		m := mesh.New(model, dim)
+		m.SetPart(int32(ctx.Rank()*k + i))
+		dm.Parts = append(dm.Parts, newPart(m))
+	}
+	return dm
+}
+
+// Adopt builds a distributed mesh whose part 0 is an existing serial
+// mesh and whose remaining parts start empty. Rank 0 passes the serial
+// mesh (its part id is overwritten and global ids are assigned); all
+// other ranks pass nil. Every rank must pass an equivalent model —
+// the analytic model builders are deterministic, so each rank simply
+// constructs its own instance.
+func Adopt(ctx *pcu.Ctx, model *gmi.Model, dim int, serial *mesh.Mesh, k int) *DMesh {
+	dm := New(ctx, model, dim, k)
+	if ctx.Rank() == 0 {
+		if serial == nil {
+			panic("partition: rank 0 must provide the serial mesh")
+		}
+		serial.SetPart(0)
+		p := newPart(serial)
+		p.assignSerialGids()
+		dm.Parts[0] = p
+	}
+	return dm
+}
+
+// NParts returns the global part count.
+func (dm *DMesh) NParts() int { return dm.Ctx.Size() * dm.K }
+
+// RankOf returns the rank hosting the given part.
+func (dm *DMesh) RankOf(part int32) int { return int(part) / dm.K }
+
+// LocalPart returns the local Part with the given global part id; it
+// panics if the part lives on another rank.
+func (dm *DMesh) LocalPart(part int32) *Part {
+	r := dm.RankOf(part)
+	if r != dm.Ctx.Rank() {
+		panic(fmt.Sprintf("partition: part %d lives on rank %d, not %d", part, r, dm.Ctx.Rank()))
+	}
+	return dm.Parts[int(part)-r*dm.K]
+}
+
+// partWriter accumulates one part-to-part payload.
+type partWriter struct {
+	to, from int32
+	buf      pcu.Buffer
+}
+
+// phase batches part-to-part messages for one communication phase.
+type phase struct {
+	dm      *DMesh
+	writers map[[2]int32]*partWriter
+}
+
+// beginPhase starts a part-addressed communication phase.
+func (dm *DMesh) beginPhase() *phase {
+	return &phase{dm: dm, writers: map[[2]int32]*partWriter{}}
+}
+
+// to returns the buffer for messages from one local part to any part
+// (local or remote).
+func (ph *phase) to(fromPart, toPart int32) *pcu.Buffer {
+	key := [2]int32{fromPart, toPart}
+	w := ph.writers[key]
+	if w == nil {
+		w = &partWriter{to: toPart, from: fromPart}
+		ph.writers[key] = w
+	}
+	return &w.buf
+}
+
+// partMsg is one received part-to-part payload.
+type partMsg struct {
+	From, To int32
+	Data     *pcu.Reader
+}
+
+// exchange completes the phase: all buffered messages are delivered and
+// the messages addressed to this rank's parts are returned sorted by
+// (To, From). Collective across ranks.
+func (ph *phase) exchange() []partMsg {
+	dm := ph.dm
+	keys := make([][2]int32, 0, len(ph.writers))
+	for k := range ph.writers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		w := ph.writers[k]
+		b := dm.Ctx.To(dm.RankOf(w.to))
+		b.Int32(w.from)
+		b.Int32(w.to)
+		b.Bytes(w.buf.Raw())
+	}
+	msgs := dm.Ctx.Exchange()
+	var out []partMsg
+	for _, m := range msgs {
+		for !m.Data.Empty() {
+			from := m.Data.Int32()
+			to := m.Data.Int32()
+			payload := m.Data.BytesVal()
+			out = append(out, partMsg{From: from, To: to, Data: pcu.NewReader(payload)})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}

@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/fastmath/pumi-go/internal/ds"
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// PtnEnt is a partition model entity P^d_i: the group of mesh entities
+// sharing one residence part set. Its dimension follows the paper's
+// structure for a mesh of dimension D: interior entities (one residence
+// part) classify on a partition entity of dimension D; entities shared
+// by n parts classify on dimension max(0, D-(n-1)) (e.g. in Fig 3/4 of
+// the paper, the 2D mesh vertex on three parts classifies on a
+// partition vertex, those on two parts on partition edges).
+type PtnEnt struct {
+	ID        int
+	Dim       int
+	Residence ds.IntSet
+	Owner     int32
+	// Count is the number of distinct mesh entities classified on this
+	// partition entity (each counted once globally).
+	Count int64
+}
+
+// PtnModel is the partition model of a distributed mesh.
+type PtnModel struct {
+	Ents []*PtnEnt
+	// byKey maps a residence set key to its partition entity.
+	byKey map[string]*PtnEnt
+	dim   int
+}
+
+// Get returns the partition entity for a residence set, or nil.
+func (pm *PtnModel) Get(res ds.IntSet) *PtnEnt { return pm.byKey[res.Key()] }
+
+// Classify returns the partition model entity a mesh entity of the
+// given part classifies on (its partition classification).
+func (pm *PtnModel) Classify(m *mesh.Mesh, e mesh.Ent) *PtnEnt {
+	return pm.byKey[m.Residence(e).Key()]
+}
+
+func (pm *PtnModel) String() string {
+	var b strings.Builder
+	for _, pe := range pm.Ents {
+		fmt.Fprintf(&b, "P%d_%d res=%v owner=%d count=%d\n",
+			pe.Dim, pe.ID, pe.Residence.Values(), pe.Owner, pe.Count)
+	}
+	return b.String()
+}
+
+// BuildPtnModel constructs the partition model of the distributed mesh
+// (collective; every rank receives the same model). Counts tally each
+// mesh entity once, at its owner.
+func BuildPtnModel(dm *DMesh) *PtnModel {
+	type classInfo struct {
+		res   ds.IntSet
+		count int64
+	}
+	local := map[string]*classInfo{}
+	for _, part := range dm.Parts {
+		m := part.M
+		for d := 0; d <= dm.Dim; d++ {
+			for e := range m.Iter(d) {
+				if m.IsGhost(e) || !m.IsOwned(e) {
+					continue
+				}
+				res := m.Residence(e)
+				key := res.Key()
+				ci := local[key]
+				if ci == nil {
+					ci = &classInfo{res: res}
+					local[key] = ci
+				}
+				ci.count++
+			}
+		}
+	}
+	// Serialize local classes and gather them everywhere.
+	var b pcu.Buffer
+	keys := make([]string, 0, len(local))
+	for k := range local {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.Int32(int32(len(keys)))
+	for _, k := range keys {
+		ci := local[k]
+		b.Int32s(ci.res.Values())
+		b.Int64(ci.count)
+	}
+	blobs := pcu.Allgather(dm.Ctx, b.Raw())
+	merged := map[string]*classInfo{}
+	for _, blob := range blobs {
+		r := pcu.NewReader(blob)
+		n := int(r.Int32())
+		for i := 0; i < n; i++ {
+			res := ds.NewIntSet(r.Int32s()...)
+			count := r.Int64()
+			key := res.Key()
+			ci := merged[key]
+			if ci == nil {
+				ci = &classInfo{res: res}
+				merged[key] = ci
+			}
+			ci.count += count
+		}
+	}
+	mkeys := make([]string, 0, len(merged))
+	for k := range merged {
+		mkeys = append(mkeys, k)
+	}
+	sort.Strings(mkeys)
+	pm := &PtnModel{byKey: map[string]*PtnEnt{}, dim: dm.Dim}
+	for i, k := range mkeys {
+		ci := merged[k]
+		d := dm.Dim - (ci.res.Len() - 1)
+		if d < 0 {
+			d = 0
+		}
+		pe := &PtnEnt{
+			ID:        i,
+			Dim:       d,
+			Residence: ci.res,
+			Owner:     ci.res.Min(),
+			Count:     ci.count,
+		}
+		pm.Ents = append(pm.Ents, pe)
+		pm.byKey[k] = pe
+	}
+	return pm
+}

@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"sort"
+
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// SyncShared pushes data from each owned part-boundary entity of the
+// given dimensions to all its remote copies (collective). pack encodes
+// the owner's payload; apply decodes it on each copy. Fields use this
+// to keep shared nodal values and global DOF numbers consistent, the
+// way PUMI's apf::synchronize works.
+func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buffer), apply func(p *Part, e mesh.Ent, r *pcu.Reader)) {
+	ph := dm.beginPhase()
+	for _, part := range dm.Parts {
+		m := part.M
+		for _, d := range dims {
+			for e := range m.PartBoundary(d) {
+				if !m.IsOwned(e) {
+					continue
+				}
+				var payload pcu.Buffer
+				pack(part, e, &payload)
+				for _, rc := range m.Remotes(e) {
+					b := ph.to(m.Part(), rc.Part)
+					b.Byte(byte(rc.Ent.T))
+					b.Int32(rc.Ent.I)
+					b.Bytes(payload.Raw())
+				}
+			}
+		}
+	}
+	for _, msg := range ph.exchange() {
+		part := dm.LocalPart(msg.To)
+		for !msg.Data.Empty() {
+			e := mesh.Ent{T: mesh.Type(msg.Data.Byte()), I: msg.Data.Int32()}
+			payload := msg.Data.BytesVal()
+			apply(part, e, pcu.NewReader(payload))
+		}
+	}
+}
+
+// ReduceShared is the inverse pattern: every non-owner copy sends its
+// payload for each shared entity to the owner, which combines them
+// (e.g. accumulating element contributions to shared nodes in an FE
+// assembly). apply runs on the owning part once per contributing copy.
+func ReduceShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buffer), apply func(p *Part, e mesh.Ent, r *pcu.Reader)) {
+	ph := dm.beginPhase()
+	for _, part := range dm.Parts {
+		m := part.M
+		for _, d := range dims {
+			for e := range m.PartBoundary(d) {
+				if m.IsOwned(e) {
+					continue
+				}
+				owner := m.Owner(e)
+				h, ok := m.RemoteCopy(e, owner)
+				if !ok {
+					continue
+				}
+				var payload pcu.Buffer
+				pack(part, e, &payload)
+				b := ph.to(m.Part(), owner)
+				b.Byte(byte(h.T))
+				b.Int32(h.I)
+				b.Bytes(payload.Raw())
+			}
+		}
+	}
+	for _, msg := range ph.exchange() {
+		part := dm.LocalPart(msg.To)
+		for !msg.Data.Empty() {
+			e := mesh.Ent{T: mesh.Type(msg.Data.Byte()), I: msg.Data.Int32()}
+			payload := msg.Data.BytesVal()
+			apply(part, e, pcu.NewReader(payload))
+		}
+	}
+}
+
+// NeighborRanks returns the ranks this rank's parts communicate with,
+// sorted — the message-routing neighborhood used for sparse exchanges.
+func NeighborRanks(dm *DMesh) []int {
+	seen := map[int]bool{}
+	for _, part := range dm.Parts {
+		for _, q := range part.M.NeighborParts(0) {
+			seen[dm.RankOf(q)] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"fmt"
+
+	"github.com/fastmath/pumi-go/internal/ds"
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// Tag data travels with entities: migration and ghosting pack the
+// sender's tag values for every transferred entity and recreate them on
+// the receiver (PUMI semantics — a copy carries its tag data). Only
+// scalar and slice numeric tags move; TagAny values are host-local.
+
+// writeTagTable encodes the sender part's movable tag directory.
+func writeTagTable(b *pcu.Buffer, m *mesh.Mesh) []*ds.Tag {
+	var movable []*ds.Tag
+	for _, t := range m.Tags.Tags() {
+		switch t.Kind {
+		case ds.TagInt, ds.TagFloat, ds.TagIntSlice, ds.TagFloatSlice, ds.TagBytes:
+			movable = append(movable, t)
+		}
+	}
+	if len(movable) > 255 {
+		panic("partition: more than 255 movable tags")
+	}
+	b.Byte(byte(len(movable)))
+	for _, t := range movable {
+		b.Bytes([]byte(t.Name))
+		b.Byte(byte(t.Kind))
+		b.Int32(int32(t.Size))
+	}
+	return movable
+}
+
+// tagSlot pairs a wire tag layout with the locally reconciled tag
+// (nil when a same-named tag with a different layout exists locally;
+// such values decode but drop).
+type tagSlot struct {
+	tag  *ds.Tag
+	kind ds.TagKind
+	size int
+}
+
+// readTagTable decodes a tag directory, creating missing tags on the
+// receiving mesh.
+func readTagTable(r *pcu.Reader, m *mesh.Mesh) []tagSlot {
+	n := int(r.Byte())
+	out := make([]tagSlot, n)
+	for i := 0; i < n; i++ {
+		name := string(r.BytesVal())
+		kind := ds.TagKind(r.Byte())
+		size := int(r.Int32())
+		tag := m.Tags.Find(name)
+		if tag == nil {
+			var err error
+			tag, err = m.Tags.Create(name, kind, size)
+			if err != nil {
+				panic(fmt.Sprintf("partition: recreating tag %q: %v", name, err))
+			}
+		}
+		if tag.Kind != kind || tag.Size != size {
+			tag = nil
+		}
+		out[i] = tagSlot{tag: tag, kind: kind, size: size}
+	}
+	return out
+}
+
+// writeEntityTags encodes e's values for the movable tags.
+func writeEntityTags(b *pcu.Buffer, m *mesh.Mesh, movable []*ds.Tag, e mesh.Ent) {
+	present := 0
+	for _, t := range movable {
+		if m.Tags.Has(t, e) {
+			present++
+		}
+	}
+	b.Byte(byte(present))
+	for i, t := range movable {
+		if !m.Tags.Has(t, e) {
+			continue
+		}
+		b.Byte(byte(i))
+		switch t.Kind {
+		case ds.TagInt:
+			v, _ := m.Tags.GetInt(t, e)
+			b.Int64(v)
+		case ds.TagFloat:
+			v, _ := m.Tags.GetFloat(t, e)
+			b.Float64(v)
+		case ds.TagIntSlice:
+			v, _ := m.Tags.GetInts(t, e)
+			for _, x := range v {
+				b.Int64(x)
+			}
+		case ds.TagFloatSlice:
+			v, _ := m.Tags.GetFloats(t, e)
+			b.Float64s(v)
+		case ds.TagBytes:
+			v, _ := m.Tags.GetBytes(t, e)
+			b.Bytes(v)
+		}
+	}
+}
+
+// applyEntityTags decodes and attaches tag values to e. Entries whose
+// tag could not be reconciled are consumed and dropped.
+func applyEntityTags(r *pcu.Reader, m *mesh.Mesh, table []tagSlot, e mesh.Ent, apply bool) {
+	n := int(r.Byte())
+	for k := 0; k < n; k++ {
+		i := int(r.Byte())
+		tag := table[i].tag
+		if !apply {
+			tag = nil
+		}
+		kind := table[i].kind
+		size := table[i].size
+		switch kind {
+		case ds.TagInt:
+			v := r.Int64()
+			if tag != nil {
+				m.Tags.SetInt(tag, e, v)
+			}
+		case ds.TagFloat:
+			v := r.Float64()
+			if tag != nil {
+				m.Tags.SetFloat(tag, e, v)
+			}
+		case ds.TagIntSlice:
+			vals := make([]int64, size)
+			for j := range vals {
+				vals[j] = r.Int64()
+			}
+			if tag != nil {
+				m.Tags.SetInts(tag, e, vals)
+			}
+		case ds.TagFloatSlice:
+			v := r.Float64s()
+			if tag != nil {
+				m.Tags.SetFloats(tag, e, v)
+			}
+		case ds.TagBytes:
+			v := r.BytesVal()
+			if tag != nil {
+				m.Tags.SetBytes(tag, e, v)
+			}
+		}
+	}
+}

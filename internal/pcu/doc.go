@@ -1,0 +1,20 @@
+// Package pcu is the Parallel Control Utility: the message-passing
+// substrate every distributed algorithm in this library runs on. It
+// plays the role MPI plays for PUMI.
+//
+// Because Go has no MPI ecosystem, pcu implements an in-process
+// distributed runtime: Run spawns one goroutine per rank, each rank owns
+// only its private state, and all inter-rank communication flows through
+// this package — phased sparse neighbor exchanges (the PCU
+// begin/pack/send/receive pattern used by migration, ghosting and ParMA)
+// and collectives (barrier, reduce, allreduce, allgather, broadcast,
+// exclusive scan).
+//
+// The runtime is architecture aware: ranks are mapped onto an
+// hwtopo.Topology, and messages between ranks on different nodes pass
+// through an explicit serialize-and-copy path while on-node messages are
+// handed over by reference. This reproduces the genuine cost asymmetry
+// between network and shared-memory communication that the paper's
+// two-level partitioning exploits, and the runtime counts both classes
+// of traffic separately so experiments can report it.
+package pcu

@@ -1,0 +1,151 @@
+package pcu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer accumulates typed data to be sent to one peer during a
+// communication phase. All values are encoded little-endian at fixed
+// width so a Reader on the receiving side can decode them in order.
+type Buffer struct {
+	buf []byte
+}
+
+// Len returns the number of encoded bytes.
+func (b *Buffer) Len() int { return len(b.buf) }
+
+// Raw returns the encoded bytes; the caller must not mutate them.
+func (b *Buffer) Raw() []byte { return b.buf }
+
+// Byte appends one byte.
+func (b *Buffer) Byte(v byte) { b.buf = append(b.buf, v) }
+
+// Int32 appends a 32-bit integer.
+func (b *Buffer) Int32(v int32) {
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(v))
+}
+
+// Int64 appends a 64-bit integer.
+func (b *Buffer) Int64(v int64) {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(v))
+}
+
+// Float64 appends a 64-bit float.
+func (b *Buffer) Float64(v float64) {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, math.Float64bits(v))
+}
+
+// Bytes appends a length-prefixed byte string.
+func (b *Buffer) Bytes(v []byte) {
+	b.Int32(int32(len(v)))
+	b.buf = append(b.buf, v...)
+}
+
+// Int32s appends a length-prefixed slice of 32-bit integers.
+func (b *Buffer) Int32s(v []int32) {
+	b.Int32(int32(len(v)))
+	for _, x := range v {
+		b.Int32(x)
+	}
+}
+
+// Float64s appends a length-prefixed slice of floats.
+func (b *Buffer) Float64s(v []float64) {
+	b.Int32(int32(len(v)))
+	for _, x := range v {
+		b.Float64(x)
+	}
+}
+
+// Message is one received payload: the sending rank and its data.
+type Message struct {
+	From int
+	Data *Reader
+}
+
+// Reader decodes a received payload in the order it was packed.
+// Decoding past the end or against the wrong type indicates a protocol
+// bug between sender and receiver and panics with a diagnostic.
+type Reader struct {
+	data []byte
+	off  int
+}
+
+// NewReader wraps raw bytes for decoding.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Remaining reports how many bytes are left to decode.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Empty reports whether the payload is fully consumed.
+func (r *Reader) Empty() bool { return r.Remaining() == 0 }
+
+func (r *Reader) need(n int) {
+	if r.Remaining() < n {
+		panic(fmt.Sprintf("pcu: message underflow: need %d bytes, have %d", n, r.Remaining()))
+	}
+}
+
+// Byte decodes one byte.
+func (r *Reader) Byte() byte {
+	r.need(1)
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+// Int32 decodes a 32-bit integer.
+func (r *Reader) Int32() int32 {
+	r.need(4)
+	v := int32(binary.LittleEndian.Uint32(r.data[r.off:]))
+	r.off += 4
+	return v
+}
+
+// Int64 decodes a 64-bit integer.
+func (r *Reader) Int64() int64 {
+	r.need(8)
+	v := int64(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Float64 decodes a 64-bit float.
+func (r *Reader) Float64() float64 {
+	r.need(8)
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+// BytesVal decodes a length-prefixed byte string. The returned slice
+// aliases the message buffer and must not be mutated.
+func (r *Reader) BytesVal() []byte {
+	n := int(r.Int32())
+	r.need(n)
+	v := r.data[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// Int32s decodes a length-prefixed slice of 32-bit integers.
+func (r *Reader) Int32s() []int32 {
+	n := int(r.Int32())
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.Int32()
+	}
+	return out
+}
+
+// Float64s decodes a length-prefixed slice of floats.
+func (r *Reader) Float64s() []float64 {
+	n := int(r.Int32())
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}

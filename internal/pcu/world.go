@@ -1,0 +1,280 @@
+package pcu
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/fastmath/pumi-go/internal/hwtopo"
+	"github.com/fastmath/pumi-go/internal/perf"
+)
+
+// ErrPeerFailed is the error a rank observes when another rank panicked
+// and the run is being torn down.
+var ErrPeerFailed = errors.New("pcu: a peer rank failed")
+
+// Stats counts the communication traffic of a run, split into on-node
+// (shared-memory, by-reference) and off-node (serialized copy) classes.
+type Stats struct {
+	OnNodeMsgs   int64
+	OffNodeMsgs  int64
+	OnNodeBytes  int64
+	OffNodeBytes int64
+	Collectives  int64
+}
+
+// World holds the shared state of one parallel run: the reusable
+// barrier, the collective scratch slots, the per-rank inboxes and the
+// traffic counters. Rank code never touches a World directly; it goes
+// through its Ctx.
+type World struct {
+	size int
+	topo hwtopo.Topology
+	bar  barrier
+
+	slots []any // collective scratch, one slot per rank
+
+	inboxes []inbox
+
+	onMsgs, offMsgs, onBytes, offBytes, colls atomic.Int64
+
+	counters perf.Counters
+}
+
+type inbox struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+// Ctx is one rank's view of the run. A Ctx must only be used by the
+// goroutine it was handed to.
+type Ctx struct {
+	w    *World
+	rank int
+	out  map[int]*Buffer
+}
+
+// Run executes body on n ranks mapped onto a single shared-memory node.
+func Run(n int, body func(*Ctx) error) error {
+	if n < 1 {
+		return fmt.Errorf("pcu: rank count %d < 1", n)
+	}
+	_, err := RunOn(n, hwtopo.Cluster(1, n), body)
+	return err
+}
+
+// RunOn executes body on n ranks mapped onto the given topology and
+// returns the aggregated communication statistics. It returns an error
+// if any rank returned an error or panicked; a panic on one rank tears
+// down the whole run (peers observe ErrPeerFailed).
+func RunOn(n int, topo hwtopo.Topology, body func(*Ctx) error) (Stats, error) {
+	if n < 1 {
+		return Stats{}, fmt.Errorf("pcu: rank count %d < 1", n)
+	}
+	if topo.Cores() < n {
+		return Stats{}, fmt.Errorf("pcu: %d ranks exceed topology %v", n, topo)
+	}
+	w := &World{
+		size:    n,
+		topo:    topo,
+		slots:   make([]any, n),
+		inboxes: make([]inbox, n),
+	}
+	w.bar.init(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok && errors.Is(err, ErrPeerFailed) {
+						errs[rank] = err
+					} else {
+						errs[rank] = fmt.Errorf("pcu: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+					}
+					w.bar.poison()
+				}
+			}()
+			errs[rank] = body(&Ctx{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	// Report real failures before secondary ErrPeerFailed noise.
+	var primary, secondary []error
+	for _, e := range errs {
+		switch {
+		case e == nil:
+		case errors.Is(e, ErrPeerFailed):
+			secondary = append(secondary, e)
+		default:
+			primary = append(primary, e)
+		}
+	}
+	if len(primary) > 0 {
+		return w.Stats(), errors.Join(primary...)
+	}
+	if len(secondary) > 0 {
+		return w.Stats(), secondary[0]
+	}
+	return w.Stats(), nil
+}
+
+// Stats returns a snapshot of the world's traffic counters.
+func (w *World) Stats() Stats {
+	return Stats{
+		OnNodeMsgs:   w.onMsgs.Load(),
+		OffNodeMsgs:  w.offMsgs.Load(),
+		OnNodeBytes:  w.onBytes.Load(),
+		OffNodeBytes: w.offBytes.Load(),
+		Collectives:  w.colls.Load(),
+	}
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Ctx) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the run.
+func (c *Ctx) Size() int { return c.w.size }
+
+// Topo returns the machine topology of the run.
+func (c *Ctx) Topo() hwtopo.Topology { return c.w.topo }
+
+// Node returns the node hosting this rank.
+func (c *Ctx) Node() int { return c.w.topo.NodeOf(c.rank) }
+
+// SameNode reports whether peer shares this rank's node memory.
+func (c *Ctx) SameNode(peer int) bool { return c.w.topo.SameNode(c.rank, peer) }
+
+// NodePeers returns the ranks on this rank's node, including itself.
+func (c *Ctx) NodePeers() []int {
+	return c.w.topo.NodeRanks(c.Node(), c.w.size)
+}
+
+// Counters returns the run-wide performance counters.
+func (c *Ctx) Counters() *perf.Counters { return &c.w.counters }
+
+// Stats returns a snapshot of the run-wide traffic counters.
+func (c *Ctx) Stats() Stats { return c.w.Stats() }
+
+// To returns the packing buffer for the given peer in the current
+// communication phase, creating it on first use. Packing to oneself is
+// allowed and delivered locally.
+func (c *Ctx) To(peer int) *Buffer {
+	if peer < 0 || peer >= c.w.size {
+		panic(fmt.Sprintf("pcu: rank %d packed to invalid peer %d", c.rank, peer))
+	}
+	if c.out == nil {
+		c.out = make(map[int]*Buffer)
+	}
+	b := c.out[peer]
+	if b == nil {
+		b = &Buffer{}
+		c.out[peer] = b
+	}
+	return b
+}
+
+// Exchange completes one sparse communication phase: every buffer
+// packed with To is delivered, and the messages sent to this rank by
+// its peers are returned, sorted by sending rank. All ranks must call
+// Exchange the same number of times (it is collective).
+func (c *Ctx) Exchange() []Message {
+	// Deliver in sorted peer order for determinism.
+	peers := make([]int, 0, len(c.out))
+	for p := range c.out {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		data := c.out[p].buf
+		if c.SameNode(p) {
+			// Shared memory: hand the buffer over by reference.
+			c.w.onMsgs.Add(1)
+			c.w.onBytes.Add(int64(len(data)))
+		} else {
+			// Distributed memory: the payload crosses the network,
+			// so it is copied, like an NIC transfer.
+			c.w.offMsgs.Add(1)
+			c.w.offBytes.Add(int64(len(data)))
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			data = cp
+		}
+		ib := &c.w.inboxes[p]
+		ib.mu.Lock()
+		ib.msgs = append(ib.msgs, Message{From: c.rank, Data: NewReader(data)})
+		ib.mu.Unlock()
+	}
+	c.out = nil
+	c.w.bar.wait()
+	ib := &c.w.inboxes[c.rank]
+	ib.mu.Lock()
+	mine := ib.msgs
+	ib.msgs = nil
+	ib.mu.Unlock()
+	sort.Slice(mine, func(i, j int) bool { return mine[i].From < mine[j].From })
+	// Second barrier: no rank may start delivering the next phase while
+	// another rank has not yet collected this phase's inbox.
+	c.w.bar.wait()
+	return mine
+}
+
+// Barrier blocks until all ranks have called it.
+func (c *Ctx) Barrier() {
+	c.w.colls.Add(1)
+	c.w.bar.wait()
+}
+
+// barrier is a reusable sense-counting barrier. poison releases all
+// current and future waiters by panicking them with ErrPeerFailed,
+// preventing deadlock when a rank dies.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	count    int
+	gen      int
+	poisoned bool
+}
+
+func (b *barrier) init(n int) {
+	b.n = n
+	b.cond = sync.NewCond(&b.mu)
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	if b.poisoned {
+		b.mu.Unlock()
+		panic(ErrPeerFailed)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	poisoned := b.poisoned
+	b.mu.Unlock()
+	if poisoned {
+		panic(ErrPeerFailed)
+	}
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

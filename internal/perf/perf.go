@@ -1,0 +1,111 @@
+// Package perf provides the run-time and memory usage counters of
+// PUMI's parallel control utilities: named wall-clock timers, event
+// counters, and process memory snapshots. All operations are safe for
+// concurrent use by rank goroutines.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counters aggregates named timers and counts. The zero value is ready
+// to use.
+type Counters struct {
+	mu     sync.Mutex
+	timers map[string]time.Duration
+	counts map[string]int64
+}
+
+// Timer measures one interval; obtain one from Start and finish it with
+// Stop.
+type Timer struct {
+	c     *Counters
+	name  string
+	begin time.Time
+}
+
+// Start begins timing the named interval.
+func (c *Counters) Start(name string) Timer {
+	return Timer{c: c, name: name, begin: time.Now()}
+}
+
+// Stop ends the interval and accumulates it, returning the elapsed time.
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.begin)
+	t.c.mu.Lock()
+	if t.c.timers == nil {
+		t.c.timers = make(map[string]time.Duration)
+	}
+	t.c.timers[t.name] += d
+	t.c.mu.Unlock()
+	return d
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n int64) {
+	c.mu.Lock()
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += n
+	c.mu.Unlock()
+}
+
+// Count returns the value of the named counter.
+func (c *Counters) Count(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Elapsed returns the accumulated duration of the named timer.
+func (c *Counters) Elapsed(name string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timers[name]
+}
+
+// Reset clears all timers and counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	c.timers = nil
+	c.counts = nil
+	c.mu.Unlock()
+}
+
+// Report renders all timers and counters, sorted by name, one per line.
+func (c *Counters) Report() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for n := range c.timers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "timer %-30s %12.6fs\n", n, c.timers[n].Seconds())
+	}
+	names = names[:0]
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "count %-30s %12d\n", n, c.counts[n])
+	}
+	return b.String()
+}
+
+// MemUsage returns the current heap-allocated bytes of the process, the
+// memory usage counter the paper's parallel control utilities expose.
+func MemUsage() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}

@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimersAndCounters(t *testing.T) {
+	var c Counters
+	tm := c.Start("phase")
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d <= 0 {
+		t.Fatal("non-positive duration")
+	}
+	if c.Elapsed("phase") < time.Millisecond {
+		t.Fatalf("elapsed = %v", c.Elapsed("phase"))
+	}
+	c.Add("msgs", 3)
+	c.Add("msgs", 4)
+	if c.Count("msgs") != 7 {
+		t.Fatalf("count = %d", c.Count("msgs"))
+	}
+	rep := c.Report()
+	if !strings.Contains(rep, "phase") || !strings.Contains(rep, "msgs") {
+		t.Fatalf("report = %q", rep)
+	}
+	c.Reset()
+	if c.Count("msgs") != 0 || c.Elapsed("phase") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("n", 1)
+				c.Start("t").Stop()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count("n") != 800 {
+		t.Fatalf("count = %d", c.Count("n"))
+	}
+}
+
+func TestMemUsage(t *testing.T) {
+	if MemUsage() == 0 {
+		t.Fatal("zero heap usage")
+	}
+}

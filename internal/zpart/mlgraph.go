@@ -1,0 +1,295 @@
+package zpart
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// MLGraph partitions the graph into nparts by multilevel recursive
+// bisection: heavy-edge-matching coarsening, greedy-growing initial
+// bisection, and Fiduccia–Mattheyses boundary refinement during
+// uncoarsening. This is the role graph partitioners (ParMETIS/Zoltan
+// graph) play in the paper's workflow.
+func MLGraph(g *Graph, nparts int) []int32 {
+	out := make([]int32, g.N())
+	idx := make([]int32, g.N())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	mlRecurse(g, idx, 0, nparts, out)
+	return out
+}
+
+func mlRecurse(g *Graph, globalIDs []int32, base, k int, out []int32) {
+	if k == 1 {
+		for _, gid := range globalIDs {
+			out[gid] = int32(base)
+		}
+		return
+	}
+	kl := k / 2
+	side := bisectMultilevel(g, float64(kl)/float64(k))
+	for s := uint8(0); s < 2; s++ {
+		sg, ids := g.subgraph(side, s)
+		sub := make([]int32, len(ids))
+		for i, li := range ids {
+			sub[i] = globalIDs[li]
+		}
+		if s == 0 {
+			mlRecurse(sg, sub, base, kl, out)
+		} else {
+			mlRecurse(sg, sub, base+kl, k-kl, out)
+		}
+	}
+}
+
+const coarsenTarget = 64
+
+// bisectMultilevel returns a 0/1 side assignment with ~leftFrac of the
+// vertex weight on side 0.
+func bisectMultilevel(g *Graph, leftFrac float64) []uint8 {
+	if g.N() <= coarsenTarget {
+		p := greedyGrow(g, leftFrac)
+		fmRefine(g, p, leftFrac, 8)
+		return p
+	}
+	cg, cmap := g.coarsen()
+	if cg.N() >= g.N()*9/10 {
+		// Matching stalled (e.g. star graphs); bisect directly.
+		p := greedyGrow(g, leftFrac)
+		fmRefine(g, p, leftFrac, 8)
+		return p
+	}
+	cp := bisectMultilevel(cg, leftFrac)
+	p := make([]uint8, g.N())
+	for v := range p {
+		p[v] = cp[cmap[v]]
+	}
+	fmRefine(g, p, leftFrac, 4)
+	return p
+}
+
+// greedyGrow seeds side 0 from a pseudo-peripheral vertex and grows by
+// BFS until it holds ~leftFrac of the weight.
+func greedyGrow(g *Graph, leftFrac float64) []uint8 {
+	n := g.N()
+	p := make([]uint8, n)
+	for i := range p {
+		p[i] = 1
+	}
+	if n == 0 {
+		return p
+	}
+	seed := pseudoPeripheral(g)
+	target := g.TotalVWt() * leftFrac
+	acc := 0.0
+	visited := make([]bool, n)
+	queue := []int32{seed}
+	visited[seed] = true
+	for len(queue) > 0 && acc < target {
+		v := queue[0]
+		queue = queue[1:]
+		p[v] = 0
+		acc += g.VWt[v]
+		for j := g.XAdj[v]; j < g.XAdj[v+1]; j++ {
+			u := g.Adj[j]
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+		if len(queue) == 0 && acc < target {
+			// Disconnected: restart from the first unvisited vertex.
+			for u := 0; u < n; u++ {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, int32(u))
+					break
+				}
+			}
+		}
+	}
+	return p
+}
+
+func pseudoPeripheral(g *Graph) int32 {
+	seed := int32(0)
+	for iter := 0; iter < 2; iter++ {
+		dist := make([]int32, g.N())
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[seed] = 0
+		queue := []int32{seed}
+		last := seed
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			last = v
+			for j := g.XAdj[v]; j < g.XAdj[v+1]; j++ {
+				u := g.Adj[j]
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		seed = last
+	}
+	return seed
+}
+
+// gainHeap is a max-heap of (vertex, gain) with lazy invalidation.
+type gainItem struct {
+	v    int32
+	gain float64
+	ver  int64
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int             { return len(h) }
+func (h gainHeap) Less(i, j int) bool   { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)          { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() any            { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h gainHeap) PeekGain() float64    { return h[0].gain }
+func (h *gainHeap) PopItem() gainItem   { return heap.Pop(h).(gainItem) }
+func (h *gainHeap) PushItem(i gainItem) { heap.Push(h, i) }
+
+// fmRefine improves a bisection in place with FM passes: vertices move
+// to the other side in descending gain order (each at most once per
+// pass) subject to a weight balance constraint; the best prefix of the
+// move sequence is kept.
+func fmRefine(g *Graph, p []uint8, leftFrac float64, passes int) {
+	n := g.N()
+	total := g.TotalVWt()
+	target := total * leftFrac
+	// Allowed deviation: 2% of total weight or the largest vertex,
+	// whichever is bigger (otherwise single heavy vertices jam).
+	maxVW := 0.0
+	for _, w := range g.VWt {
+		if w > maxVW {
+			maxVW = w
+		}
+	}
+	tol := total * 0.02
+	if maxVW > tol {
+		tol = maxVW
+	}
+	gain := func(v int32) float64 {
+		ext, inn := 0.0, 0.0
+		for j := g.XAdj[v]; j < g.XAdj[v+1]; j++ {
+			if p[g.Adj[j]] == p[v] {
+				inn += g.EWt[j]
+			} else {
+				ext += g.EWt[j]
+			}
+		}
+		return ext - inn
+	}
+	leftW := 0.0
+	for v := 0; v < n; v++ {
+		if p[v] == 0 {
+			leftW += g.VWt[v]
+		}
+	}
+	ver := make([]int64, n)
+	for pass := 0; pass < passes; pass++ {
+		var h gainHeap
+		moved := make([]bool, n)
+		// Seed with boundary vertices.
+		for v := int32(0); v < int32(n); v++ {
+			boundary := false
+			for j := g.XAdj[v]; j < g.XAdj[v+1]; j++ {
+				if p[g.Adj[j]] != p[v] {
+					boundary = true
+					break
+				}
+			}
+			if boundary {
+				h.PushItem(gainItem{v: v, gain: gain(v), ver: ver[v]})
+			}
+		}
+		type moveRec struct {
+			v int32
+		}
+		var seq []moveRec
+		cum, best := 0.0, 0.0
+		bestLen := 0
+		for h.Len() > 0 {
+			it := h.PopItem()
+			if moved[it.v] || it.ver != ver[it.v] {
+				continue
+			}
+			// Balance check.
+			w := g.VWt[it.v]
+			newLeft := leftW
+			if p[it.v] == 0 {
+				newLeft -= w
+			} else {
+				newLeft += w
+			}
+			if newLeft < target-tol || newLeft > target+tol {
+				continue
+			}
+			// Recompute gain (may be stale).
+			gv := gain(it.v)
+			if gv < it.gain-1e-12 {
+				ver[it.v]++
+				h.PushItem(gainItem{v: it.v, gain: gv, ver: ver[it.v]})
+				continue
+			}
+			// Apply the move.
+			p[it.v] ^= 1
+			leftW = newLeft
+			moved[it.v] = true
+			seq = append(seq, moveRec{v: it.v})
+			cum += gv
+			if cum > best {
+				best = cum
+				bestLen = len(seq)
+			}
+			for j := g.XAdj[it.v]; j < g.XAdj[it.v+1]; j++ {
+				u := g.Adj[j]
+				if !moved[u] {
+					ver[u]++
+					h.PushItem(gainItem{v: u, gain: gain(u), ver: ver[u]})
+				}
+			}
+			if len(seq)-bestLen > 200 {
+				break // long negative tail; stop early
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(seq) - 1; i >= bestLen; i-- {
+			v := seq[i].v
+			if p[v] == 0 {
+				leftW -= g.VWt[v]
+			} else {
+				leftW += g.VWt[v]
+			}
+			p[v] ^= 1
+		}
+		if best <= 0 {
+			break
+		}
+	}
+}
+
+// PartSizes sums vertex weights per part.
+func PartSizes(g *Graph, part []int32, nparts int) []float64 {
+	sizes := make([]float64, nparts)
+	for v := 0; v < g.N(); v++ {
+		sizes[part[v]] += g.VWt[v]
+	}
+	return sizes
+}
+
+// sortedCopy is a small test helper shared across files.
+func sortedCopy(v []int32) []int32 {
+	out := make([]int32, len(v))
+	copy(out, v)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
