@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test bench race vet pumi-vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+pumi-vet:
+	$(GO) run ./cmd/pumi-vet ./...
+
+# The full local gate: what CI runs.
+check: vet pumi-vet build test race

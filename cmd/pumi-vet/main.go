@@ -1,0 +1,90 @@
+// Command pumi-vet runs PUMI's project-specific static analyzers over
+// the module. It is the static half of the correctness tooling (the
+// dynamic half is `go test -race` plus mesh.VerifyParallel):
+//
+//	go run ./cmd/pumi-vet ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any analyzer fired,
+// 2 on usage or load errors. See internal/lint for the analyzers:
+//
+//	ctxescape     *pcu.Ctx escaping its goroutine
+//	collmismatch  collectives under rank-dependent branches
+//	bufdiscipline stale phase buffers / unchecked message readers
+//	enthandle     cross-part entity-handle comparisons
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/fastmath/pumi-go/internal/lint"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		only    = flag.String("analyzers", "", "comma-separated subset of analyzers to run")
+		noTests = flag.Bool("notests", false, "skip _test.go files")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pumi-vet [flags] [packages]\n\n"+
+			"Packages are directories, optionally ending in /... for a recursive\n"+
+			"walk (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "pumi-vet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pumi-vet:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pumi-vet:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = !*noTests
+	pkgs, err := loader.Load(cwd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pumi-vet:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pumi-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -236,7 +236,7 @@ func TestParallelAdaptation(t *testing.T) {
 		if pcu.SumInt64(ctx, remaining) != 0 {
 			return fmt.Errorf("%d long edges remain", remaining)
 		}
-		if err := partition.CheckDistributed(dm); err != nil {
+		if err := partition.Verify(dm); err != nil {
 			return err
 		}
 		// Volume conserved.

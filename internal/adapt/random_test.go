@@ -109,7 +109,7 @@ func TestParallel2DAdaptation(t *testing.T) {
 			}
 		}
 		partition.Migrate(dm, partition.PlansFromAssignment(dm, assign))
-		if err := partition.CheckDistributed(dm); err != nil {
+		if err := partition.Verify(dm); err != nil {
 			return fmt.Errorf("2D distribute: %w", err)
 		}
 		size := func(p vec.V) float64 {
@@ -142,7 +142,7 @@ func TestParallel2DAdaptation(t *testing.T) {
 		if got := pcu.SumFloat64(ctx, area); math.Abs(got-3) > 1e-9 {
 			return fmt.Errorf("area = %g", got)
 		}
-		return partition.CheckDistributed(dm)
+		return partition.Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufDiscipline enforces the packing/reading discipline of a pcu
+// communication phase:
+//
+//   - A buffer obtained from c.To(peer) (or a partition phase's
+//     to(from, to)) belongs to the phase it was created in. Writing to
+//     it after a subsequent Exchange() in the same function packs data
+//     into a buffer that has already been delivered and discarded.
+//   - A *pcu.Reader obtained in a function (from a received Message's
+//     .Data field or from pcu.NewReader) that is decoded must also be
+//     checked for exhaustion via Empty, Remaining or Done on some path;
+//     silently dropping trailing bytes hides protocol mismatches
+//     between sender and receiver. Readers received as function
+//     parameters are exempt: partial decoding may be the callee's
+//     contract.
+//
+// Both checks are per-function and lexical (position-based), which
+// matches the straight-line phase structure of PUMI communication code.
+var BufDiscipline = &Analyzer{
+	Name: "bufdiscipline",
+	Doc:  "detect stale phase buffers and unchecked message readers",
+	Run:  runBufDiscipline,
+}
+
+var decodeMethods = map[string]bool{
+	"Byte": true, "Int32": true, "Int64": true, "Float64": true,
+	"BytesVal": true, "Int32s": true, "Float64s": true,
+}
+
+var finalizeMethods = map[string]bool{
+	"Empty": true, "Remaining": true, "Done": true,
+}
+
+var packMethods = map[string]bool{
+	"Byte": true, "Int32": true, "Int64": true, "Float64": true,
+	"Bytes": true, "Int32s": true, "Float64s": true,
+}
+
+func runBufDiscipline(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPhaseBody(p, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkPhaseBody(p, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// readerState tracks one reader object (variable or selector path)
+// within a function body.
+type readerState struct {
+	firstDecode token.Pos
+	decoded     bool
+	finalized   bool
+}
+
+func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
+	var exchanges []token.Pos          // positions of Exchange()/exchange() calls
+	bufDefs := map[types.Object]token.Pos{} // buffer var -> creation pos
+	readers := map[any]*readerState{}  // reader key -> state
+	type bufWrite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var writes []bufWrite
+
+	reader := func(key any) *readerState {
+		st := readers[key]
+		if st == nil {
+			st = &readerState{}
+			readers[key] = st
+		}
+		return st
+	}
+
+	// Single pass in source order, not descending into nested literals
+	// (they get their own checkPhaseBody via runBufDiscipline).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.Info.Defs[id]
+					if obj == nil {
+						obj = p.Info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					if isPhaseBufferCall(p, call) {
+						bufDefs[obj] = n.Pos()
+					}
+				}
+				// Reader aliases: r := msg.Data / r := pcu.NewReader(x).
+				for i, rhs := range n.Rhs {
+					if !isReaderOrigin(p, rhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						obj := p.Info.Defs[id]
+						if obj == nil {
+							obj = p.Info.Uses[id]
+						}
+						if obj != nil {
+							reader(obj) // begin tracking, undecoded
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isExchangeCall(p, n) {
+				exchanges = append(exchanges, n.Pos())
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			// Buffer writes through a tracked variable.
+			if packMethods[name] && isBufferPtr(p.TypeOf(sel.X)) {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					var obj types.Object = p.Info.Uses[id]
+					if _, tracked := bufDefs[obj]; tracked {
+						writes = append(writes, bufWrite{obj, n.Pos()})
+					}
+				}
+			}
+			// Reader decodes / finalizes, keyed by variable object or
+			// by the selector path of the receiver.
+			if (decodeMethods[name] || finalizeMethods[name]) && isReaderPtr(p.TypeOf(sel.X)) {
+				var st *readerState
+				switch recv := ast.Unparen(sel.X).(type) {
+				case *ast.Ident:
+					// Only variables that alias a reader origin in this
+					// function are tracked; parameters of reader type
+					// are exempt (partial decode may be the callee's
+					// contract).
+					obj := p.Info.Uses[recv]
+					if obj == nil {
+						return true
+					}
+					st = readers[obj]
+					if st == nil {
+						return true
+					}
+				case *ast.SelectorExpr:
+					if recv.Sel.Name != "Data" {
+						return true
+					}
+					st = reader(selectorPath(recv))
+				default:
+					return true
+				}
+				if finalizeMethods[name] {
+					st.finalized = true
+				} else if !st.decoded {
+					st.decoded = true
+					st.firstDecode = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		def := bufDefs[w.obj]
+		for _, e := range exchanges {
+			if def < e && e < w.pos {
+				p.Reportf(w.pos,
+					"phase buffer %q (created at %s) written after Exchange at %s; To buffers are delivered and discarded by Exchange",
+					w.obj.Name(), p.Fset.Position(def), p.Fset.Position(e))
+				break
+			}
+		}
+	}
+	for _, st := range readers {
+		if st.decoded && !st.finalized {
+			p.Reportf(st.firstDecode,
+				"message reader decoded but never checked for exhaustion; call Empty/Remaining in a loop or Done after the last decode")
+		}
+	}
+}
+
+// isPhaseBufferCall reports whether the call creates a phase packing
+// buffer: a To/to method returning *pcu.Buffer.
+func isPhaseBufferCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "To" && sel.Sel.Name != "to" {
+		return false
+	}
+	return isBufferPtr(p.TypeOf(call))
+}
+
+func isExchangeCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Exchange" && name != "exchange" {
+		return false
+	}
+	recv := p.TypeOf(sel.X)
+	if isCtxPtr(recv) {
+		return true
+	}
+	// partition's part-addressed phase wrapper.
+	return namedName(recv) == "phase"
+}
+
+// isReaderOrigin reports whether the expression produces a fresh reader
+// this function is responsible for: pcu.NewReader(...) or a .Data
+// selector of reader type (a received message).
+func isReaderOrigin(p *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if fn := calleeFunc(p.Info, e); fn != nil && fn.Name() == "NewReader" &&
+			fn.Pkg() != nil && pathHasSuffix(fn.Pkg().Path(), pcuPkg) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Data" && isReaderPtr(p.TypeOf(e))
+	}
+	return false
+}
+
+// selectorPath renders a selector chain (msg.Data, m.Data) to a
+// comparable string key.
+func selectorPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return selectorPath(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return selectorPath(e.X) + "[]"
+	case *ast.CallExpr:
+		return selectorPath(e.Fun) + "()"
+	}
+	return "?"
+}
+
+func isBufferPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNamedType(ptr.Elem(), pcuPkg, "Buffer")
+}
+
+func isReaderPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNamedType(ptr.Elem(), pcuPkg, "Reader")
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CollMismatch detects collectives that cannot be entered by every
+// rank: a call to a collective operation (a pcu built-in such as
+// Barrier/Exchange/Allreduce, or any function whose doc comment
+// declares it collective) lexically guarded by a rank-dependent branch
+// such as `if c.Rank() == 0`. Since every rank must enter every
+// collective in the same order, a rank-guarded collective deadlocks the
+// run.
+//
+// An if statement whose then AND else branches both contain collective
+// calls is exempt: that is the root-vs-rest pattern where all ranks
+// still reach a collective (the analyzer does not attempt to prove the
+// two sequences match). The early-return spelling of the same pattern —
+// a rank-guarded branch that ends in return or panic, with collectives
+// both inside it and in the code after the if — is exempt for the same
+// reason. Function literals are separate execution contexts and are
+// scanned independently of the guards around them.
+var CollMismatch = &Analyzer{
+	Name: "collmismatch",
+	Doc:  "detect collectives guarded by rank-dependent branches",
+	Run:  runCollMismatch,
+}
+
+func runCollMismatch(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFuncBody(p, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkFuncBody(p, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncBody analyzes one function body. Nested function literals
+// are pushed back through checkFuncBody with a fresh guard context.
+func checkFuncBody(p *Pass, body *ast.BlockStmt) {
+	rankVars := collectRankVars(p, body)
+	w := &collWalker{p: p, rankVars: rankVars}
+	w.walk(body, token.NoPos)
+}
+
+// collectRankVars finds local variables assigned from a Rank() call on
+// a *pcu.Ctx within the body, so `r := c.Rank(); if r == 0 {...}` is
+// recognized as rank-dependent.
+func collectRankVars(p *Pass, body *ast.BlockStmt) map[any]bool {
+	vars := map[any]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isRankCall(p, call) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					vars[obj] = true
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+func isRankCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rank" {
+		return false
+	}
+	return isCtxPtr(p.TypeOf(sel.X))
+}
+
+type collWalker struct {
+	p        *Pass
+	rankVars map[any]bool
+}
+
+// walk traverses statements; guard is the position of the innermost
+// rank-dependent branch enclosing the current node (NoPos if none).
+func (w *collWalker) walk(n ast.Node, guard token.Pos) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// Separate execution context: guards around the literal do not
+		// guard the calls inside it (it may run elsewhere); but the
+		// literal body gets its own analysis.
+		checkFuncBody(w.p, n.Body)
+		return
+	case *ast.BlockStmt:
+		w.walkStmts(n.List, guard)
+		return
+	case *ast.IfStmt:
+		w.walk(n.Init, guard)
+		w.walkExpr(n.Cond, guard)
+		branchGuard := guard
+		if w.isRankDependent(n.Cond) && !w.bothBranchesCollective(n) {
+			branchGuard = n.If
+		}
+		w.walk(n.Body, branchGuard)
+		w.walk(n.Else, branchGuard)
+		return
+	case *ast.SwitchStmt:
+		w.walk(n.Init, guard)
+		w.walkExpr(n.Tag, guard)
+		caseGuard := guard
+		if w.isRankDependent(n.Tag) || w.anyCaseRankDependent(n) {
+			caseGuard = n.Switch
+		}
+		w.walk(n.Body, caseGuard)
+		return
+	case *ast.CallExpr:
+		if guard.IsValid() {
+			if fn := calleeFunc(w.p.Info, n); fn != nil && w.p.Facts.IsCollective(fn) {
+				w.p.Reportf(n.Pos(),
+					"collective %s called under a rank-dependent branch (guard at %s); every rank must enter every collective",
+					fn.Name(), w.p.Fset.Position(guard))
+			}
+		}
+		w.walkExpr(n.Fun, guard)
+		for _, a := range n.Args {
+			w.walkExpr(a, guard)
+		}
+		return
+	}
+	// Generic traversal for everything else.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		switch c.(type) {
+		case *ast.FuncLit, *ast.BlockStmt, *ast.IfStmt, *ast.SwitchStmt, *ast.CallExpr:
+			w.walk(c, guard)
+			return false
+		}
+		return true
+	})
+}
+
+// walkStmts traverses a statement list, recognizing the early-return
+// spelling of the root-vs-rest pattern: a rank-guarded if with no else
+// that terminates (return/panic) and contains a collective, followed by
+// tail code that also reaches a collective. Both paths then enter a
+// collective, so neither is treated as guarded.
+func (w *collWalker) walkStmts(list []ast.Stmt, guard token.Pos) {
+	for i, s := range list {
+		if ifs, ok := s.(*ast.IfStmt); ok &&
+			ifs.Else == nil && w.isRankDependent(ifs.Cond) &&
+			terminalBlock(ifs.Body) && w.hasCollective(ifs.Body) &&
+			w.stmtsHaveCollective(list[i+1:]) {
+			w.walk(ifs.Init, guard)
+			w.walkExpr(ifs.Cond, guard)
+			w.walk(ifs.Body, guard)
+			continue
+		}
+		w.walk(s, guard)
+	}
+}
+
+// terminalBlock reports whether the block always leaves the enclosing
+// function: its last statement is a return or a panic call.
+func terminalBlock(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *collWalker) stmtsHaveCollective(list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.hasCollective(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *collWalker) walkExpr(e ast.Expr, guard token.Pos) {
+	if e == nil {
+		return
+	}
+	w.walk(e, guard)
+}
+
+// isRankDependent reports whether the expression's value depends on the
+// calling rank: it contains a Rank() call on a *pcu.Ctx or references a
+// variable assigned from one.
+func (w *collWalker) isRankDependent(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	dep := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isRankCall(w.p, n) {
+				dep = true
+			}
+		case *ast.Ident:
+			if obj := w.p.Info.Uses[n]; obj != nil && w.rankVars[obj] {
+				dep = true
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+func (w *collWalker) anyCaseRankDependent(s *ast.SwitchStmt) bool {
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if w.isRankDependent(e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bothBranchesCollective reports whether both the then and else
+// branches of a rank-guarded if contain collective calls (the
+// root-vs-rest pattern, exempt from the lexical rule).
+func (w *collWalker) bothBranchesCollective(s *ast.IfStmt) bool {
+	if s.Else == nil {
+		return false
+	}
+	return w.hasCollective(s.Body) && w.hasCollective(s.Else)
+}
+
+// hasCollective reports whether the subtree contains a collective call,
+// not descending into function literals.
+func (w *collWalker) hasCollective(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(w.p.Info, c); fn != nil && w.p.Facts.IsCollective(fn) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxEscape enforces goroutine confinement of *pcu.Ctx: a Ctx must only
+// be used by the goroutine it was handed to (internal/pcu/world.go). A
+// Ctx that is captured by a `go func` literal, passed as an argument in
+// a `go` statement, stored in a package-level variable, or sent on a
+// channel can be observed by another goroutine, which breaks the
+// synchronization contract of barriers, collectives and exchanges.
+var CtxEscape = &Analyzer{
+	Name: "ctxescape",
+	Doc:  "detect *pcu.Ctx values escaping their goroutine",
+	Run:  runCtxEscape,
+}
+
+func runCtxEscape(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(p, n)
+			case *ast.SendStmt:
+				if isCtxPtr(p.TypeOf(n.Value)) {
+					p.Reportf(n.Value.Pos(),
+						"*pcu.Ctx sent on a channel; a Ctx is confined to the goroutine it was handed to")
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break
+					}
+					if !isCtxPtr(p.TypeOf(n.Rhs[i])) {
+						continue
+					}
+					if root := rootIdent(lhs); root != nil && isPkgLevelVar(p.Info, root) {
+						p.Reportf(n.Rhs[i].Pos(),
+							"*pcu.Ctx stored in package-level state %q; a Ctx is confined to the goroutine it was handed to", root.Name)
+					}
+				}
+			case *ast.ValueSpec:
+				// Package-level `var x = ctx` declarations.
+				for i, name := range n.Names {
+					if i < len(n.Values) && isCtxPtr(p.TypeOf(n.Values[i])) && isPkgLevelVar(p.Info, name) {
+						p.Reportf(n.Values[i].Pos(),
+							"*pcu.Ctx stored in package-level state %q; a Ctx is confined to the goroutine it was handed to", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGoStmt flags a Ctx that crosses into a spawned goroutine, either
+// as a call argument or as a free variable of a function literal.
+func checkGoStmt(p *Pass, g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if isCtxPtr(p.TypeOf(arg)) {
+			p.Reportf(arg.Pos(),
+				"*pcu.Ctx passed to a goroutine; a Ctx is confined to the goroutine it was handed to")
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || !isCtxPtr(obj.Type()) {
+			return true
+		}
+		// Free variable: declared outside the literal's extent.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			p.Reportf(id.Pos(),
+				"*pcu.Ctx %q captured by goroutine literal; a Ctx is confined to the goroutine it was handed to", id.Name)
+		}
+		return true
+	})
+}
+
+// rootIdent returns the base identifier of an lvalue expression
+// (x, x.f, x[i], x.f[i].g, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isPkgLevelVar(info *types.Info, id *ast.Ident) bool {
+	var obj types.Object
+	if o, ok := info.Uses[id]; ok {
+		obj = o
+	} else if o, ok := info.Defs[id]; ok {
+		obj = o
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	pkg := v.Pkg()
+	return pkg != nil && pkg.Scope().Lookup(v.Name()) == v
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EntHandle enforces the opacity of mesh entity handles across parts.
+// A mesh.Ent is an index into one part's entity arrays; the same
+// physical entity has unrelated handles on different parts. The handle
+// recorded in a RemoteCopyRef names an entity on ANOTHER part, so
+// comparing it with == or != against anything local is meaningless —
+// cross-part identity must go through RemoteCopy / global ids.
+//
+// Comparing against the mesh.NilEnt sentinel is exempt (a validity
+// check, not a cross-part identity test).
+var EntHandle = &Analyzer{
+	Name: "enthandle",
+	Doc:  "detect == comparisons of remote-copy entity handles",
+	Run:  runEntHandle,
+}
+
+func runEntHandle(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+				remote, other := pair[0], pair[1]
+				if !isRemoteEntSelector(p, remote) {
+					continue
+				}
+				if !isNamedType(p.TypeOf(other), meshPkg, "Ent") {
+					continue
+				}
+				if isNilEnt(p, other) {
+					continue
+				}
+				p.Reportf(be.OpPos,
+					"remote-copy handle compared with %s; handles are part-local — resolve cross-part identity via RemoteCopy or global ids", be.Op)
+				break
+			}
+			return true
+		})
+	}
+}
+
+// isRemoteEntSelector reports whether e is the .Ent field of a
+// mesh.RemoteCopyRef — a handle that lives on another part.
+func isRemoteEntSelector(p *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Ent" {
+		return false
+	}
+	return isNamedType(p.TypeOf(sel.X), meshPkg, "RemoteCopyRef")
+}
+
+// isNilEnt reports whether e references the mesh.NilEnt sentinel.
+func isNilEnt(p *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "NilEnt"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "NilEnt"
+	}
+	return false
+}

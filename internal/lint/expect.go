@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expectation is one `// want "regexp"` comment in a fixture file: the
+// line it sits on must produce a diagnostic matching the pattern.
+// Multiple expectations may share a line:
+//
+//	bad() // want "first" "second"
+type Expectation struct {
+	File    string
+	Line    int
+	Pattern *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// ParseExpectations extracts want-comments from the files of a loaded
+// package.
+func ParseExpectations(p *Package) ([]Expectation, error) {
+	var out []Expectation
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				pats, err := splitQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern: %v", pos, err)
+					}
+					out = append(out, Expectation{File: pos.Filename, Line: pos.Line, Pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted parses a sequence of Go-quoted strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("want patterns must be quoted strings, got %q", s)
+		}
+		// Find the end of this quoted string.
+		end := -1
+		if s[0] == '`' {
+			if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+				end = i + 2
+			}
+		} else {
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i + 1
+					break
+				}
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		unq, err := strconv.Unquote(s[:end])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", s[:end], err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end:])
+	}
+	return out, nil
+}
+
+// CheckExpectations matches diagnostics against want-comments and
+// returns human-readable failures: unmatched expectations and
+// unexpected diagnostics.
+func CheckExpectations(expects []Expectation, diags []Diagnostic) []string {
+	var fails []string
+	used := make([]bool, len(diags))
+	for _, want := range expects {
+		found := false
+		for i, d := range diags {
+			if used[i] || d.Pos.Filename != want.File || d.Pos.Line != want.Line {
+				continue
+			}
+			if want.Pattern.MatchString(d.Message) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			fails = append(fails, fmt.Sprintf("%s:%d: no diagnostic matching %q",
+				want.File, want.Line, want.Pattern))
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			fails = append(fails, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	sort.Strings(fails)
+	return fails
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// sharedLoader caches one loader (and its source-importer cache) across
+// fixture tests; importing pcu/mesh from source once is the dominant
+// cost.
+var sharedLoader *Loader
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// testAnalyzer runs one analyzer over its fixture package and matches
+// diagnostics against the `// want "..."` comments. Each fixture holds
+// a positive file (bad.go, with expectations) and a negative file
+// (ok.go, with none); unexpected diagnostics fail the test.
+func testAnalyzer(t *testing.T, a *Analyzer) {
+	l := fixtureLoader(t)
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkgs, err := l.Load(".", dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	diags := Run(pkgs, []*Analyzer{a})
+	expects, err := ParseExpectations(pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expects) == 0 {
+		t.Fatalf("fixture %s has no want-comments", dir)
+	}
+	for _, fail := range CheckExpectations(expects, diags) {
+		t.Error(fail)
+	}
+}
+
+func TestCtxEscape(t *testing.T)     { testAnalyzer(t, CtxEscape) }
+func TestCollMismatch(t *testing.T)  { testAnalyzer(t, CollMismatch) }
+func TestBufDiscipline(t *testing.T) { testAnalyzer(t, BufDiscipline) }
+func TestEntHandle(t *testing.T)     { testAnalyzer(t, EntHandle) }
+
+// TestAnalyzerListStable pins the analyzer set wired into pumi-vet.
+func TestAnalyzerListStable(t *testing.T) {
+	want := []string{"ctxescape", "collmismatch", "bufdiscipline", "enthandle"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s lacks a doc string", a.Name)
+		}
+	}
+}
+
+// TestExpectationEngine exercises the want-comment matcher itself.
+func TestExpectationEngine(t *testing.T) {
+	pats, err := splitQuoted("\"one\" `two.*`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 2 || pats[0] != "one" || pats[1] != "two.*" {
+		t.Fatalf("splitQuoted = %q", pats)
+	}
+	if _, err := splitQuoted(`"unterminated`); err == nil {
+		t.Fatal("unterminated pattern accepted")
+	}
+	if _, err := splitQuoted(`bare`); err == nil {
+		t.Fatal("unquoted pattern accepted")
+	}
+}

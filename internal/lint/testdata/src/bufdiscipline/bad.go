@@ -1,0 +1,36 @@
+package bufdiscipline
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+func badStaleBuffer(c *pcu.Ctx, peer int) {
+	b := c.To(peer)
+	b.Int64(1)
+	c.Exchange()
+	b.Int64(2) // want `written after Exchange`
+}
+
+func badStaleInLoop(c *pcu.Ctx, peer int) {
+	b := c.To(peer)
+	for i := 0; i < 3; i++ {
+		c.Exchange()
+		b.Int32(int32(i)) // want `written after Exchange`
+	}
+}
+
+func badUncheckedReader(c *pcu.Ctx) {
+	for _, m := range c.Exchange() {
+		_ = m.Data.Int64() // want `never checked for exhaustion`
+	}
+}
+
+func badUncheckedAlias(c *pcu.Ctx) {
+	for _, m := range c.Exchange() {
+		r := m.Data
+		_ = r.Float64() // want `never checked for exhaustion`
+	}
+}
+
+func badUncheckedNewReader(payload []byte) {
+	r := pcu.NewReader(payload)
+	_ = r.Int32() // want `never checked for exhaustion`
+}

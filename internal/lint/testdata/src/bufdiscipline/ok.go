@@ -1,0 +1,51 @@
+package bufdiscipline
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+func okTwoPhases(c *pcu.Ctx, peer int) {
+	// A fresh To per phase is the contract.
+	b := c.To(peer)
+	b.Int64(1)
+	c.Exchange()
+	b2 := c.To(peer)
+	b2.Int64(2)
+	c.Exchange()
+}
+
+func okLoopPhases(c *pcu.Ctx, peer int) {
+	// Buffer created and written before each phase's Exchange.
+	for i := 0; i < 3; i++ {
+		b := c.To(peer)
+		b.Int32(int32(i))
+		c.Exchange()
+	}
+}
+
+func okEmptyLoop(c *pcu.Ctx) {
+	for _, m := range c.Exchange() {
+		for !m.Data.Empty() {
+			_ = m.Data.Int64()
+		}
+	}
+}
+
+func okDone(payload []byte) int32 {
+	r := pcu.NewReader(payload)
+	v := r.Int32()
+	r.Done()
+	return v
+}
+
+func okRemaining(payload []byte) []byte {
+	r := pcu.NewReader(payload)
+	_ = r.Byte()
+	n := r.Remaining()
+	_ = n
+	return nil
+}
+
+func okParamReader(r *pcu.Reader) float64 {
+	// Readers handed in as parameters may be partially decoded; the
+	// caller owns the exhaustion check.
+	return r.Float64()
+}

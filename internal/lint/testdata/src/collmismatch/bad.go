@@ -1,0 +1,41 @@
+package collmismatch
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+func badBarrier(c *pcu.Ctx) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `collective Barrier called under a rank-dependent branch`
+	}
+}
+
+func badRankVar(c *pcu.Ctx) {
+	r := c.Rank()
+	if r > 0 {
+		pcu.SumInt64(c, 1) // want `collective SumInt64`
+	}
+}
+
+func badSwitch(c *pcu.Ctx) {
+	switch c.Rank() {
+	case 0:
+		c.Exchange() // want `collective Exchange`
+	default:
+	}
+}
+
+// gatherAll reduces the stats over all ranks (collective).
+func gatherAll(c *pcu.Ctx) int64 { return pcu.SumInt64(c, 1) }
+
+func badDocMarked(c *pcu.Ctx) {
+	if c.Rank() == 1 {
+		gatherAll(c) // want `collective gatherAll`
+	}
+}
+
+func badElse(c *pcu.Ctx) {
+	if c.Rank() != 0 {
+		_ = c.Size()
+	} else {
+		c.Barrier() // want `collective Barrier`
+	}
+}

@@ -1,0 +1,59 @@
+package collmismatch
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+func okUnguarded(c *pcu.Ctx) {
+	c.Barrier()
+	_ = pcu.SumInt64(c, 1)
+}
+
+func okRootWork(c *pcu.Ctx) {
+	// Rank-guarded non-collective work is the normal root pattern.
+	if c.Rank() == 0 {
+		println("root bookkeeping")
+	}
+	c.Barrier()
+}
+
+func okBothBranches(c *pcu.Ctx) {
+	// Both branches reach a collective: root-vs-rest, exempt.
+	if c.Rank() == 0 {
+		_ = pcu.Bcast(c, 0, 42)
+	} else {
+		_ = pcu.Bcast(c, 0, 0)
+	}
+}
+
+func okLiteralContext(c *pcu.Ctx) {
+	// A function literal is a separate execution context; defining it
+	// under a guard is not calling a collective under the guard.
+	var f func()
+	if c.Rank() == 0 {
+		f = func() { c.Barrier() }
+	} else {
+		f = func() { c.Barrier() }
+	}
+	f()
+}
+
+func okEarlyReturn(c *pcu.Ctx) int {
+	// Early-return spelling of the root-vs-rest pattern: the guarded
+	// branch and the tail both reach a collective.
+	if c.Rank() == 0 {
+		return pcu.Bcast(c, 0, 42)
+	}
+	return pcu.Bcast(c, 0, 0)
+}
+
+func okGuardedPacking(c *pcu.Ctx) {
+	// Rank-dependent packing before a uniform Exchange is the
+	// canonical sparse-communication pattern.
+	if c.Rank() == 0 {
+		c.To(1).Int64(7)
+	}
+	for _, m := range c.Exchange() {
+		for !m.Data.Empty() {
+			_ = m.Data.Int64()
+		}
+	}
+}

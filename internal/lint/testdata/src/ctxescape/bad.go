@@ -1,0 +1,25 @@
+package ctxescape
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+var leaked *pcu.Ctx
+
+func worker(c *pcu.Ctx) { _ = c.Rank() }
+
+func badCapture(c *pcu.Ctx) {
+	go func() {
+		c.Barrier() // want `captured by goroutine`
+	}()
+}
+
+func badArg(c *pcu.Ctx) {
+	go worker(c) // want `passed to a goroutine`
+}
+
+func badGlobal(c *pcu.Ctx) {
+	leaked = c // want `package-level state`
+}
+
+func badChannel(c *pcu.Ctx, ch chan *pcu.Ctx) {
+	ch <- c // want `sent on a channel`
+}

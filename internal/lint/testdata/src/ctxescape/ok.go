@@ -1,0 +1,23 @@
+package ctxescape
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+// Confined use: aliasing within the same goroutine, structs on the
+// stack/heap of the owning goroutine, and goroutines that do not touch
+// the Ctx are all fine.
+
+type holder struct{ c *pcu.Ctx }
+
+func okAlias(c *pcu.Ctx) {
+	d := c
+	_ = d.Rank()
+	h := holder{c: c}
+	_ = h.c.Size()
+}
+
+func okGoroutine(c *pcu.Ctx, done chan int) {
+	n := c.Size()
+	go func() {
+		done <- n // captured the value, not the Ctx
+	}()
+}

@@ -1,0 +1,20 @@
+package enthandle
+
+import "github.com/fastmath/pumi-go/internal/mesh"
+
+func badCompare(m *mesh.Mesh, e mesh.Ent) bool {
+	for _, rc := range m.Remotes(e) {
+		if rc.Ent == e { // want `remote-copy handle compared`
+			return true
+		}
+	}
+	return false
+}
+
+func badCompareReversed(m *mesh.Mesh, e mesh.Ent) bool {
+	rcs := m.Remotes(e)
+	if len(rcs) > 0 && e != rcs[0].Ent { // want `remote-copy handle compared`
+		return true
+	}
+	return false
+}

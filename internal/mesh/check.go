@@ -14,7 +14,22 @@ import "fmt"
 //     bounds exactly two of its faces);
 //   - classification, when a model is attached, resolves to a model
 //     entity of dimension >= the entity's dimension.
+//
+// The up/down symmetry check is linear in the mesh size: a first sweep
+// counts the downward references each entity receives, a second walks
+// each use list once, verifying every use points back, appears only
+// once (per-slot stamps), and that the list length matches the
+// reference count. Point-back plus uniqueness plus equal cardinality
+// force the two relations to coincide without the per-reference list
+// scan, whose cost grows with vertex valence and made verification of
+// large parts quadratic.
 func (m *Mesh) CheckConsistency() error {
+	// Pass 1: downward references are live and well-dimensioned; tally
+	// how many references each entity receives.
+	var refCount [TypeCount][]int32
+	for t := Type(0); t < TypeCount; t++ {
+		refCount[t] = make([]int32, m.td[t].slots())
+	}
 	for t := Type(0); t < TypeCount; t++ {
 		td := &m.td[t]
 		for i := int32(0); i < td.slots(); i++ {
@@ -22,47 +37,72 @@ func (m *Mesh) CheckConsistency() error {
 				continue
 			}
 			e := Ent{T: t, I: i}
-			if err := m.checkEntity(e); err != nil {
+			base := int(i) * td.degree
+			for j := 0; j < td.degree; j++ {
+				d := td.down[base+j]
+				if !m.Alive(d) {
+					return fmt.Errorf("mesh: %v downward[%d] = %v is not alive", e, j, d)
+				}
+				if d.Dim() != downTypes[t][j].Dim() {
+					return fmt.Errorf("mesh: %v downward[%d] = %v has wrong dimension", e, j, d)
+				}
+				refCount[d.T][d.I]++
+			}
+			if err := m.checkEntityLocal(e); err != nil {
 				return err
 			}
+		}
+	}
+	// Pass 2: walk each use list once. stamp marks the (user, slot)
+	// pairs seen for the current entity, so duplicates are caught; the
+	// walk is cut off past the reference count, so a corrupt cyclic
+	// list terminates with an error instead of hanging.
+	var stamp [TypeCount][]int32
+	for t := Type(0); t < TypeCount; t++ {
+		stamp[t] = make([]int32, len(m.td[t].down))
+		for i := range stamp[t] {
+			stamp[t][i] = -1
+		}
+	}
+	var gen int32
+	for t := Type(0); t < TypeCount; t++ {
+		td := &m.td[t]
+		for i := int32(0); i < td.slots(); i++ {
+			if !td.alive[i] {
+				continue
+			}
+			e := Ent{T: t, I: i}
+			want := refCount[t][i]
+			var n int32
+			for u := td.firstUse[i]; u.e.Ok(); u = m.useNext(u) {
+				if !m.Alive(u.e) {
+					return fmt.Errorf("mesh: %v has use by dead entity %v", e, u.e)
+				}
+				utd := &m.td[u.e.T]
+				idx := int(u.e.I)*utd.degree + int(u.slot)
+				if utd.down[idx] != e {
+					return fmt.Errorf("mesh: %v use by %v slot %d does not point back", e, u.e, u.slot)
+				}
+				if stamp[u.e.T][idx] == gen {
+					return fmt.Errorf("mesh: %v has duplicate use by %v slot %d", e, u.e, u.slot)
+				}
+				stamp[u.e.T][idx] = gen
+				if n++; n > want {
+					return fmt.Errorf("mesh: %v use list exceeds its %d downward references (corrupt or cyclic)", e, want)
+				}
+			}
+			if n != want {
+				return fmt.Errorf("mesh: %v has %d uses but %d downward references", e, n, want)
+			}
+			gen++
 		}
 	}
 	return nil
 }
 
-func (m *Mesh) checkEntity(e Ent) error {
-	td := &m.td[e.T]
-	base := int(e.I) * td.degree
-	for j := 0; j < td.degree; j++ {
-		d := td.down[base+j]
-		if !m.Alive(d) {
-			return fmt.Errorf("mesh: %v downward[%d] = %v is not alive", e, j, d)
-		}
-		if d.Dim() != downTypes[e.T][j].Dim() {
-			return fmt.Errorf("mesh: %v downward[%d] = %v has wrong dimension", e, j, d)
-		}
-		// Up/down symmetry: find the use.
-		found := false
-		for u := m.td[d.T].firstUse[d.I]; u.e.Ok(); u = m.useNext(u) {
-			if u.e == e && int(u.slot) == j {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("mesh: %v downward[%d] = %v lacks the matching use", e, j, d)
-		}
-	}
-	// Use lists only reference live entities pointing back at us.
-	for u := m.td[e.T].firstUse[e.I]; u.e.Ok(); u = m.useNext(u) {
-		if !m.Alive(u.e) {
-			return fmt.Errorf("mesh: %v has use by dead entity %v", e, u.e)
-		}
-		utd := &m.td[u.e.T]
-		if utd.down[int(u.e.I)*utd.degree+int(u.slot)] != e {
-			return fmt.Errorf("mesh: %v use by %v slot %d does not point back", e, u.e, u.slot)
-		}
-	}
+// checkEntityLocal runs the per-entity checks that need no global
+// information: face cycles, region shells and classification.
+func (m *Mesh) checkEntityLocal(e Ent) error {
 	switch e.Dim() {
 	case 2:
 		if err := m.checkFaceCycle(e); err != nil {
@@ -88,13 +128,14 @@ func (m *Mesh) checkEntity(e Ent) error {
 }
 
 func (m *Mesh) checkFaceCycle(f Ent) error {
-	edges := m.Down(f)
+	var ebuf, abuf, bbuf [8]Ent
+	edges := m.DownTo(f, ebuf[:0])
 	n := len(edges)
 	for i := 0; i < n; i++ {
 		a, b := edges[i], edges[(i+1)%n]
 		shared := false
-		for _, v1 := range m.Down(a) {
-			for _, v2 := range m.Down(b) {
+		for _, v1 := range m.DownTo(a, abuf[:0]) {
+			for _, v2 := range m.DownTo(b, bbuf[:0]) {
 				if v1 == v2 {
 					shared = true
 				}
@@ -108,16 +149,32 @@ func (m *Mesh) checkFaceCycle(f Ent) error {
 }
 
 func (m *Mesh) checkRegionShell(r Ent) error {
-	faces := m.Down(r)
-	edgeCount := map[Ent]int{}
-	for _, f := range faces {
-		for _, e := range m.Down(f) {
-			edgeCount[e]++
+	// A region has at most 6 faces of at most 4 edges; count in a small
+	// stack buffer rather than a map, this runs for every region.
+	var edges [24]Ent
+	var counts [24]int
+	var fbuf, ebuf [8]Ent
+	n := 0
+	for _, f := range m.DownTo(r, fbuf[:0]) {
+		for _, e := range m.DownTo(f, ebuf[:0]) {
+			found := false
+			for i := 0; i < n; i++ {
+				if edges[i] == e {
+					counts[i]++
+					found = true
+					break
+				}
+			}
+			if !found {
+				edges[n] = e
+				counts[n] = 1
+				n++
+			}
 		}
 	}
-	for e, n := range edgeCount {
-		if n != 2 {
-			return fmt.Errorf("mesh: region %v edge %v bounds %d of its faces, want 2", r, e, n)
+	for i := 0; i < n; i++ {
+		if counts[i] != 2 {
+			return fmt.Errorf("mesh: region %v edge %v bounds %d of its faces, want 2", r, edges[i], counts[i])
 		}
 	}
 	return nil

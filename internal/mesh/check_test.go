@@ -1,0 +1,115 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/vec"
+)
+
+// corruptCase builds a single-tet mesh, lets corrupt damage it through
+// the internal arrays, and asserts CheckConsistency reports a message
+// containing want.
+func corruptCase(t *testing.T, want string, corrupt func(m *Mesh, tet Ent, vs []Ent)) {
+	t.Helper()
+	m := newTestMesh()
+	tet, vs := singleTet(m)
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatalf("clean mesh rejected: %v", err)
+	}
+	corrupt(m, tet, vs)
+	err := m.CheckConsistency()
+	if err == nil {
+		t.Fatalf("corruption %q not detected", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestCheckDetectsDeadDownward(t *testing.T) {
+	corruptCase(t, "is not alive", func(m *Mesh, tet Ent, vs []Ent) {
+		// Kill a vertex behind the adjacency structure's back.
+		m.td[Vertex].alive[vs[0].I] = false
+	})
+}
+
+func TestCheckDetectsMissingUse(t *testing.T) {
+	corruptCase(t, "downward references", func(m *Mesh, tet Ent, vs []Ent) {
+		// Drop an edge's use list: its vertices now have more downward
+		// references than uses.
+		e := m.td[Edge]
+		e.firstUse[0] = nilUse
+	})
+}
+
+func TestCheckDetectsDanglingUse(t *testing.T) {
+	corruptCase(t, "does not point back", func(m *Mesh, tet Ent, vs []Ent) {
+		// Swap two vertices' use lists: each now claims uses whose
+		// downward slots point at the other vertex.
+		td := &m.td[Vertex]
+		td.firstUse[vs[0].I], td.firstUse[vs[1].I] =
+			td.firstUse[vs[1].I], td.firstUse[vs[0].I]
+	})
+}
+
+func TestCheckDetectsCyclicUseList(t *testing.T) {
+	corruptCase(t, "duplicate use", func(m *Mesh, tet Ent, vs []Ent) {
+		// Make the use list of vs[0] loop back on itself; the stamp
+		// pass reports the revisit instead of walking forever.
+		td := &m.td[Vertex]
+		first := td.firstUse[vs[0].I]
+		utd := &m.td[first.e.T]
+		utd.nextUse[int(first.e.I)*utd.degree+int(first.slot)] = first
+	})
+}
+
+func BenchmarkCheckConsistency(b *testing.B) {
+	// A structured tet block large enough that the old
+	// O(entities x valence) symmetry scan dominates.
+	m := newTestMesh()
+	grid := buildTetGrid(m, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.CheckConsistency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = grid
+}
+
+// buildTetGrid fills m with an n x n x n vertex grid where every cube
+// cell is split into 6 tets, and returns the element count.
+func buildTetGrid(m *Mesh, n int) int {
+	verts := make([]Ent, n*n*n)
+	at := func(i, j, k int) Ent { return verts[(i*n+j)*n+k] }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				verts[(i*n+j)*n+k] = m.CreateVertex(gmi.NoRef,
+					vec.V{X: float64(i), Y: float64(j), Z: float64(k)})
+			}
+		}
+	}
+	// The standard 6-tet decomposition of each cube along the main
+	// diagonal c0-c6.
+	paths := [6][3]int{{1, 2, 6}, {2, 3, 6}, {3, 7, 6}, {7, 4, 6}, {4, 5, 6}, {5, 1, 6}}
+	count := 0
+	for i := 0; i < n-1; i++ {
+		for j := 0; j < n-1; j++ {
+			for k := 0; k < n-1; k++ {
+				c := [8]Ent{
+					at(i, j, k), at(i+1, j, k), at(i+1, j+1, k), at(i, j+1, k),
+					at(i, j, k+1), at(i+1, j, k+1), at(i+1, j+1, k+1), at(i, j+1, k+1),
+				}
+				for _, p := range paths {
+					m.BuildFromVerts(Tet, []Ent{c[0], c[p[0]], c[p[1]], c[p[2]]}, gmi.NoRef)
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

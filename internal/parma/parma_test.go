@@ -204,7 +204,7 @@ func TestBalanceRegions(t *testing.T) {
 		if after > 1.15 {
 			return fmt.Errorf("imbalance %g -> %g (levels %+v)", before, after, res.Levels)
 		}
-		if err := partition.CheckDistributed(dm); err != nil {
+		if err := partition.Verify(dm); err != nil {
 			return err
 		}
 		if got := partition.GlobalCount(dm, 3); got != int64(6*12*4*4) {
@@ -235,7 +235,7 @@ func TestBalanceVtxThenRgn(t *testing.T) {
 		if partition.GlobalCount(dm, 0) != int64(13*5*5) {
 			return fmt.Errorf("vertices lost")
 		}
-		return partition.CheckDistributed(dm)
+		return partition.Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -325,7 +325,7 @@ func TestHeavyPartSplit(t *testing.T) {
 		if res.After >= before*0.7 {
 			return fmt.Errorf("split ineffective: %g -> %g", before, res.After)
 		}
-		if err := partition.CheckDistributed(dm); err != nil {
+		if err := partition.Verify(dm); err != nil {
 			return err
 		}
 		// Follow with diffusion as the paper prescribes.
@@ -335,7 +335,7 @@ func TestHeavyPartSplit(t *testing.T) {
 		if after > 1.3 {
 			return fmt.Errorf("final imbalance %g", after)
 		}
-		return partition.CheckDistributed(dm)
+		return partition.Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -396,7 +396,7 @@ func TestBalanceWeights(t *testing.T) {
 		if res.After > 1.15 {
 			return fmt.Errorf("weighted balance failed: %g -> %g", res.Before, res.After)
 		}
-		return partition.CheckDistributed(dm)
+		return partition.Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -440,7 +440,7 @@ func TestBalanceWeightsNonUniform(t *testing.T) {
 		}
 		// Element counts may now be imbalanced -- that is the point of
 		// application-defined weights.
-		return partition.CheckDistributed(dm)
+		return partition.Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -294,6 +294,7 @@ func gatherProps(dm *partition.DMesh, local []mergeProp) []mergeProp {
 				Total:  r.Int64(),
 			})
 		}
+		r.Done()
 	}
 	return out
 }

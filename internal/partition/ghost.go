@@ -234,6 +234,7 @@ func unpackGhosts(dm *DMesh, msg partMsg) {
 			}
 		}
 	}
+	r.Done()
 }
 
 // RemoveGhosts deletes every ghost entity from all local parts

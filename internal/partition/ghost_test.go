@@ -134,13 +134,13 @@ func TestGhostTagSyncAndRemove(t *testing.T) {
 				return err
 			}
 		}
-		if err := CheckDistributed(dm); err != nil {
+		if err := Verify(dm); err != nil {
 			return err
 		}
 		// Migration must work again after ghost removal.
 		plans := make([]Plan, len(dm.Parts))
 		Migrate(dm, plans)
-		return CheckDistributed(dm)
+		return Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +168,7 @@ func TestGhostTwoLayers(t *testing.T) {
 			return fmt.Errorf("two layers (%d) not larger than one (%d)", two, one)
 		}
 		RemoveGhosts(dm)
-		return CheckDistributed(dm)
+		return Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)

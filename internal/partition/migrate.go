@@ -442,6 +442,7 @@ func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet) {
 			mergeRes(recvRes, e, resVals)
 		}
 	}
+	r.Done()
 }
 
 func mergeRes(recvRes map[mesh.Ent]ds.IntSet, e mesh.Ent, vals []int32) {

@@ -48,7 +48,7 @@ func TestDistributeBox(t *testing.T) {
 		dm := distributeByX(ctx, model.Model, func() *mesh.Mesh {
 			return meshgen.Box3D(model, 4, 2, 2)
 		}, 1, 4)
-		if err := CheckDistributed(dm); err != nil {
+		if err := Verify(dm); err != nil {
 			return err
 		}
 		wantT := int64(6 * 4 * 2 * 2)
@@ -118,7 +118,7 @@ func TestMultiplePartsPerRank(t *testing.T) {
 		if dm.NParts() != 6 {
 			return fmt.Errorf("nparts = %d", dm.NParts())
 		}
-		if err := CheckDistributed(dm); err != nil {
+		if err := Verify(dm); err != nil {
 			return err
 		}
 		if got := GlobalCount(dm, 3); got != 96 {
@@ -147,7 +147,7 @@ func TestSecondMigrationAndReturn(t *testing.T) {
 		dm := distributeByX(ctx, model.Model, func() *mesh.Mesh {
 			return meshgen.Box3D(model, 3, 2, 2)
 		}, 1, 3)
-		if err := CheckDistributed(dm); err != nil {
+		if err := Verify(dm); err != nil {
 			return fmt.Errorf("after distribute: %w", err)
 		}
 		// Move everything to part 0 again.
@@ -159,7 +159,7 @@ func TestSecondMigrationAndReturn(t *testing.T) {
 			}
 		}
 		Migrate(dm, plans)
-		if err := CheckDistributed(dm); err != nil {
+		if err := Verify(dm); err != nil {
 			return fmt.Errorf("after regather: %w", err)
 		}
 		counts := GatherCounts(dm, 3)
@@ -214,7 +214,7 @@ func TestPartitionModelFig34(t *testing.T) {
 			}
 		}
 		Migrate(dm, PlansFromAssignment(dm, assign))
-		if err := CheckDistributed(dm); err != nil {
+		if err := Verify(dm); err != nil {
 			return err
 		}
 		pm := BuildPtnModel(dm)
@@ -321,7 +321,7 @@ func TestGidsStableAcrossMigration(t *testing.T) {
 		// Shared vertices must have matching gids on both sides:
 		// verified by CheckDistributed, plus explicit spot check that
 		// every shared entity's gid is known to its remote part.
-		return CheckDistributed(dm)
+		return Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -379,7 +379,7 @@ func TestTagsTravelWithMigration(t *testing.T) {
 				}
 			}
 		}
-		return CheckDistributed(dm)
+		return Verify(dm)
 	})
 	if err != nil {
 		t.Fatal(err)

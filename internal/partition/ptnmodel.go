@@ -109,6 +109,7 @@ func BuildPtnModel(dm *DMesh) *PtnModel {
 			}
 			ci.count += count
 		}
+		r.Done()
 	}
 	mkeys := make([]string, 0, len(merged))
 	for k := range merged {

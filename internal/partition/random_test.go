@@ -71,7 +71,7 @@ func TestRandomMigrationStorm(t *testing.T) {
 				}
 			}
 			Migrate(dm, plans)
-			if err := CheckDistributed(dm); err != nil {
+			if err := Verify(dm); err != nil {
 				return fmt.Errorf("round %d: %w", round, err)
 			}
 			for d := 0; d <= 3; d++ {
@@ -157,7 +157,7 @@ func TestRandomMigrationWithGhostCycles(t *testing.T) {
 				}
 			}
 			Migrate(dm, plans)
-			if err := CheckDistributed(dm); err != nil {
+			if err := Verify(dm); err != nil {
 				return fmt.Errorf("round %d: %w", round, err)
 			}
 			if got := GlobalCount(dm, 3); got != want {

@@ -17,4 +17,41 @@
 // between network and shared-memory communication that the paper's
 // two-level partitioning exploits, and the runtime counts both classes
 // of traffic separately so experiments can report it.
+//
+// # Memory-ordering contract
+//
+// The runtime stays race-free under the following discipline, which all
+// code in this module follows and go test -race plus the pumi-vet
+// static analyzers enforce:
+//
+//   - A Ctx is goroutine-confined. It must only be used by the rank
+//     goroutine it was handed to: never capture it in a go statement,
+//     store it in a global, or send it over a channel (the ctxescape
+//     analyzer flags all three). Everything reachable only through a
+//     Ctx — its out-buffers, the Messages returned by Exchange — is
+//     private to that rank.
+//
+//   - All cross-rank data transfer is synchronized by the barrier. The
+//     barrier guards its generation counter with a mutex/cond pair, so
+//     every write a rank performs before bar.wait() returns
+//     happens-before every read any rank performs after the same
+//     barrier generation completes. Exchange publishes inbox entries
+//     under the inbox mutex before its first barrier, and collects them
+//     after it; the second barrier keeps a fast rank's next phase from
+//     overlapping a slow rank's collection.
+//
+//   - Collectives write only their own World.slots entry, then barrier,
+//     then read the other entries, then barrier again before any rank
+//     may overwrite its slot for the next collective. No slot is ever
+//     written concurrently with a read.
+//
+//   - A Buffer handed out by Ctx.To is sealed once Exchange delivers
+//     it, because on-node delivery passes the bytes by reference;
+//     packing into a stale buffer panics instead of racing with the
+//     receiver's decode (the bufdiscipline analyzer catches this
+//     statically, the seal catches it at run time).
+//
+//   - The traffic counters are atomics, so Stats may be called from any
+//     rank at any time — including concurrently with message delivery —
+//     and yields a consistent (if instantaneous) snapshot.
 package pcu

@@ -9,8 +9,23 @@ import (
 // Buffer accumulates typed data to be sent to one peer during a
 // communication phase. All values are encoded little-endian at fixed
 // width so a Reader on the receiving side can decode them in order.
+//
+// A buffer obtained from Ctx.To is valid only until the phase's
+// Exchange: on-node delivery hands the bytes to the receiver by
+// reference, so Exchange seals the buffer and any later pack call
+// panics. Packing for the next phase starts from a fresh To call.
 type Buffer struct {
-	buf []byte
+	buf    []byte
+	sealed bool
+}
+
+// seal marks the buffer as delivered; further packing panics.
+func (b *Buffer) seal() { b.sealed = true }
+
+func (b *Buffer) check() {
+	if b.sealed {
+		panic("pcu: buffer written after Exchange delivered it; call To again for the next phase")
+	}
 }
 
 // Len returns the number of encoded bytes.
@@ -20,20 +35,26 @@ func (b *Buffer) Len() int { return len(b.buf) }
 func (b *Buffer) Raw() []byte { return b.buf }
 
 // Byte appends one byte.
-func (b *Buffer) Byte(v byte) { b.buf = append(b.buf, v) }
+func (b *Buffer) Byte(v byte) {
+	b.check()
+	b.buf = append(b.buf, v)
+}
 
 // Int32 appends a 32-bit integer.
 func (b *Buffer) Int32(v int32) {
+	b.check()
 	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(v))
 }
 
 // Int64 appends a 64-bit integer.
 func (b *Buffer) Int64(v int64) {
+	b.check()
 	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(v))
 }
 
 // Float64 appends a 64-bit float.
 func (b *Buffer) Float64(v float64) {
+	b.check()
 	b.buf = binary.LittleEndian.AppendUint64(b.buf, math.Float64bits(v))
 }
 
@@ -81,6 +102,16 @@ func (r *Reader) Remaining() int { return len(r.data) - r.off }
 
 // Empty reports whether the payload is fully consumed.
 func (r *Reader) Empty() bool { return r.Remaining() == 0 }
+
+// Done asserts the payload is fully consumed. Trailing bytes mean the
+// sender packed more than the receiver decoded — a protocol bug — and
+// panic with a diagnostic. Fixed-format decoders call Done after the
+// last decode; variable-length decoders loop on Empty instead.
+func (r *Reader) Done() {
+	if n := r.Remaining(); n != 0 {
+		panic(fmt.Sprintf("pcu: message has %d undecoded trailing bytes", n))
+	}
+}
 
 func (r *Reader) need(n int) {
 	if r.Remaining() < n {

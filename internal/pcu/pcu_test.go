@@ -288,6 +288,50 @@ func TestReaderUnderflowPanics(t *testing.T) {
 	NewReader([]byte{1, 2}).Int32()
 }
 
+func TestBufferSealedAfterExchange(t *testing.T) {
+	err := Run(2, func(c *Ctx) error {
+		b := c.To(1 - c.Rank())
+		b.Int32(1)
+		c.Exchange()
+		defer func() {
+			if recover() == nil {
+				panic("stale buffer write did not panic")
+			}
+		}()
+		b.Int32(2) // must panic: the phase's Exchange delivered this buffer
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stats must be safe to read from any rank while other ranks are
+// mid-delivery; run it under -race with heavy concurrent traffic.
+func TestStatsDuringTrafficRace(t *testing.T) {
+	const n = 8
+	topo := hwtopo.Cluster(2, 4) // both on-node and off-node paths
+	_, err := RunOn(n, topo, func(c *Ctx) error {
+		for phase := 0; phase < 20; phase++ {
+			for p := 0; p < n; p++ {
+				c.To(p).Int64(int64(phase))
+			}
+			s := c.Stats() // concurrent with peers' inbox appends
+			if s.OnNodeMsgs < 0 || s.OffNodeMsgs < 0 {
+				return errors.New("negative counter")
+			}
+			for _, m := range c.Exchange() {
+				m.Data.Int64()
+				m.Data.Done()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPackToInvalidPeerPanics(t *testing.T) {
 	err := Run(2, func(c *Ctx) error {
 		if c.Rank() == 0 {

@@ -191,7 +191,12 @@ func (c *Ctx) Exchange() []Message {
 	}
 	sort.Ints(peers)
 	for _, p := range peers {
-		data := c.out[p].buf
+		b := c.out[p]
+		data := b.buf
+		// The receiver may get these bytes by reference; writing to the
+		// buffer after this point would race with the receiver's decode,
+		// so further pack calls panic.
+		b.seal()
 		if c.SameNode(p) {
 			// Shared memory: hand the buffer over by reference.
 			c.w.onMsgs.Add(1)
