@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race vet pumi-vet check
+.PHONY: all build test bench race vet pumi-vet chaos check
 
 all: build
 
@@ -8,7 +8,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -22,5 +22,11 @@ vet:
 pumi-vet:
 	$(GO) run ./cmd/pumi-vet ./...
 
+# Short race-enabled chaos soak at fixed seeds: balancing under fault
+# injection must end cleanly or with a structured failure + checkpoint
+# restart (see DESIGN.md §7).
+chaos:
+	$(GO) test -race -count=1 -run 'TestSoak' ./internal/chaos/
+
 # The full local gate: what CI runs.
-check: vet pumi-vet build test race
+check: vet pumi-vet build test race chaos

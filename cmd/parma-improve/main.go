@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
@@ -26,8 +25,7 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("parma-improve: ")
+	cmdutil.SetTool("parma-improve")
 	meshFile := flag.String("mesh", "", "input mesh file")
 	modelFlag := flag.String("model", "", "model spec matching the mesh")
 	assignFile := flag.String("assign", "", "element assignment file (from pumi-part)")
@@ -38,22 +36,22 @@ func main() {
 	split := flag.Bool("split", false, "run heavy part splitting before diffusion")
 	flag.Parse()
 	if *meshFile == "" || *assignFile == "" {
-		log.Fatal("-mesh and -assign are required")
+		cmdutil.Usagef("-mesh and -assign are required")
 	}
 	ms, err := cmdutil.ParseModelSpec(*modelFlag)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 	model, _ := ms.Build()
 
 	af, err := os.Open(*assignFile)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	assign, err := meshio.ReadAssignment(af)
 	af.Close()
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	nparts := 0
 	for _, p := range assign {
@@ -62,11 +60,11 @@ func main() {
 		}
 	}
 	if nparts%*ranks != 0 {
-		log.Fatalf("part count %d must be divisible by ranks %d", nparts, *ranks)
+		cmdutil.Usagef("part count %d must be divisible by ranks %d", nparts, *ranks)
 	}
 	pri, err := parma.ParsePriority(*priority)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 
 	err = pcu.Run(*ranks, func(ctx *pcu.Ctx) error {
@@ -127,6 +125,6 @@ func main() {
 		return partition.CheckDistributed(dm)
 	})
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 }

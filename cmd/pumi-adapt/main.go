@@ -17,7 +17,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"os"
 	"strconv"
@@ -30,8 +29,7 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pumi-adapt: ")
+	cmdutil.SetTool("pumi-adapt")
 	meshFile := flag.String("mesh", "", "input mesh file")
 	modelFlag := flag.String("model", "", "model spec matching the mesh (for boundary snapping)")
 	sizeFlag := flag.String("size", "", "size field spec: uniform:H | band:AXIS,CENTER,WIDTH,FINE,COARSE")
@@ -40,25 +38,25 @@ func main() {
 	rounds := flag.Int("rounds", 15, "max refinement rounds")
 	flag.Parse()
 	if *meshFile == "" || *sizeFlag == "" {
-		log.Fatal("-mesh and -size are required")
+		cmdutil.Usagef("-mesh and -size are required")
 	}
 	ms, err := cmdutil.ParseModelSpec(*modelFlag)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 	model, _ := ms.Build()
 	size, err := parseSize(*sizeFlag)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 	m, err := meshio.LoadFile(*meshFile, model)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	before := m.Count(m.Dim())
 	splits, collapses := adapt.Adapt(m, size, nil, *coarsen, *rounds)
 	if err := m.CheckConsistency(); err != nil {
-		log.Fatalf("adapted mesh inconsistent: %v", err)
+		cmdutil.Failf("adapted mesh inconsistent: %v", err)
 	}
 	fmt.Printf("adapted: %d -> %d elements (%d splits, %d collapses)\n",
 		before, m.Count(m.Dim()), splits, collapses)
@@ -66,7 +64,7 @@ func main() {
 		fmt.Printf("warning: %d edges still exceed the size field (raise -rounds)\n", n)
 	}
 	if err := meshio.SaveFile(*out, m); err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 	cmdutil.PrintMeshStats(os.Stdout, m)

@@ -7,26 +7,39 @@
 //	pumi-bench -exp all
 //	pumi-bench -exp table2 -ns 80 -n 20 -parts 64 -ranks 16
 //	pumi-bench -exp fig13 -parts 32
+//	pumi-bench -chaos 1,2,3,4 -chaos-dir /tmp/ck
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
+	"github.com/fastmath/pumi-go/internal/chaos"
+	"github.com/fastmath/pumi-go/internal/cmdutil"
 	"github.com/fastmath/pumi-go/internal/experiments"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pumi-bench: ")
+	cmdutil.SetTool("pumi-bench")
 	exp := flag.String("exp", "all", "experiment: table1 | table2 | table3 | fig12 | fig13 | hybrid | migrate | localsplit | all")
 	ns := flag.Int("ns", 0, "vessel axial layers (table experiments)")
 	n := flag.Int("n", 0, "vessel cross-section resolution")
 	parts := flag.Int("parts", 0, "part count override")
 	ranks := flag.Int("ranks", 0, "rank count override")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts parallel runs with a structured error")
+	chaosSeeds := flag.String("chaos", "", "comma-separated seeds: run the fault-injection soak instead of experiments")
+	chaosDir := flag.String("chaos-dir", "", "checkpoint directory for -chaos (default a temp dir)")
 	flag.Parse()
+	defer cmdutil.WithTimeout(*timeout)()
+
+	if *chaosSeeds != "" {
+		runChaos(*chaosSeeds, *chaosDir)
+		return
+	}
 
 	tcfg := experiments.DefaultTableConfig()
 	if *ns > 0 {
@@ -63,7 +76,7 @@ func main() {
 	case "fig13", "hybrid", "migrate", "localsplit":
 		runs[*exp] = true
 	default:
-		log.Fatalf("unknown experiment %q", *exp)
+		cmdutil.Usagef("unknown experiment %q", *exp)
 	}
 
 	if runs["table1"] {
@@ -81,7 +94,7 @@ func main() {
 	if needTable {
 		res, err := experiments.RunTable(tcfg)
 		if err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		if runs["table2"] || runs["table3"] {
 			fmt.Println("== Table II (entity imbalance) and Table III (time) ==")
@@ -103,7 +116,7 @@ func main() {
 		fmt.Println("== Fig 13: element imbalance histogram after adaptation without load balancing ==")
 		res, err := experiments.RunFig13(fcfg)
 		if err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		fmt.Print(experiments.FormatFig13(res))
 		fmt.Println()
@@ -112,7 +125,7 @@ func main() {
 		fmt.Println("== Hybrid two-level communication (paper §II-D, up to 32 workers/node) ==")
 		points, err := experiments.RunHybrid(experiments.DefaultHybridConfig())
 		if err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		fmt.Print(experiments.FormatHybrid(points))
 		fmt.Println()
@@ -121,7 +134,7 @@ func main() {
 		fmt.Println("== Migration and ghosting scaling (paper §II distributed services) ==")
 		points, err := experiments.RunMigrate(experiments.DefaultMigrateConfig())
 		if err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		fmt.Print(experiments.FormatMigrate(points))
 		fmt.Println()
@@ -130,9 +143,43 @@ func main() {
 		fmt.Println("== Local splitting spike and ParMA recovery (paper §III-A, 16,384 -> 1.5M parts) ==")
 		res, err := experiments.RunLocalSplit(experiments.DefaultLocalSplitConfig())
 		if err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		fmt.Print(experiments.FormatLocalSplit(res))
 	}
 	os.Exit(0)
+}
+
+// runChaos drives one fault-injection soak per seed: a balancing run
+// under the seed's fault plan that must end cleanly or with a
+// structured failure, followed by a checkpoint restart when one was
+// committed. Any unclassifiable outcome fails the command.
+func runChaos(seeds, dir string) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "pumi-chaos-*")
+		if err != nil {
+			cmdutil.Fail(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	for _, field := range strings.Split(seeds, ",") {
+		seed, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			cmdutil.Usagef("bad -chaos seed %q: %v", field, err)
+		}
+		ckdir := fmt.Sprintf("%s/seed-%d", dir, seed)
+		if err := os.MkdirAll(ckdir, 0o755); err != nil {
+			cmdutil.Fail(err)
+		}
+		out, err := chaos.Soak(chaos.Config{
+			Seed:         seed,
+			Dir:          ckdir,
+			StallTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			cmdutil.Fail(err)
+		}
+		fmt.Println(out)
+	}
 }

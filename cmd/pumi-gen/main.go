@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strconv"
 	"strings"
@@ -25,8 +24,7 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pumi-gen: ")
+	cmdutil.SetTool("pumi-gen")
 	modelFlag := flag.String("model", "box:1,1,1", "model spec: box:LX,LY,LZ | rect:LX,LY | vessel:LEN,R0,BULGE,BEND | wing:SPAN,CHORD,THICK")
 	gridFlag := flag.String("grid", "8,8,8", "grid resolution: NX,NY,NZ (box/wing), NX,NY (rect), NS,N (vessel)")
 	out := flag.String("o", "mesh.pumi", "output mesh file")
@@ -34,38 +32,38 @@ func main() {
 
 	spec, err := cmdutil.ParseModelSpec(*modelFlag)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 	grid, err := parseGrid(*gridFlag)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 	_, typed := spec.Build()
 	var m *mesh.Mesh
 	switch t := typed.(type) {
 	case *gmi.RectModel:
 		if len(grid) != 2 {
-			log.Fatalf("rect needs -grid NX,NY")
+			cmdutil.Usagef("rect needs -grid NX,NY")
 		}
 		m = meshgen.Rect2D(t, grid[0], grid[1])
 	case *gmi.BoxModel:
 		if len(grid) != 3 {
-			log.Fatalf("%s needs -grid NX,NY,NZ", spec.Kind)
+			cmdutil.Usagef("%s needs -grid NX,NY,NZ", spec.Kind)
 		}
 		m = meshgen.Box3D(t, grid[0], grid[1], grid[2])
 	case *gmi.VesselModel:
 		if len(grid) != 2 {
-			log.Fatalf("vessel needs -grid NS,N")
+			cmdutil.Usagef("vessel needs -grid NS,N")
 		}
 		m = meshgen.Vessel3D(t, grid[0], grid[1])
 	default:
-		log.Fatalf("unsupported model kind %q", spec.Kind)
+		cmdutil.Usagef("unsupported model kind %q", spec.Kind)
 	}
 	if err := m.CheckConsistency(); err != nil {
-		log.Fatalf("generated mesh inconsistent: %v", err)
+		cmdutil.Failf("generated mesh inconsistent: %v", err)
 	}
 	if err := meshio.SaveFile(*out, m); err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 	cmdutil.PrintMeshStats(os.Stdout, m)

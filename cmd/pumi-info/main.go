@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 	"strings"
@@ -24,27 +23,26 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pumi-info: ")
+	cmdutil.SetTool("pumi-info")
 	meshFile := flag.String("mesh", "", "input mesh file")
 	modelFlag := flag.String("model", "", "model spec matching the mesh")
 	assignFile := flag.String("assign", "", "optional element assignment to analyze")
 	ranks := flag.Int("ranks", 4, "ranks used for the partition-model analysis")
 	flag.Parse()
 	if *meshFile == "" {
-		log.Fatal("-mesh is required")
+		cmdutil.Usagef("-mesh is required")
 	}
 	ms, err := cmdutil.ParseModelSpec(*modelFlag)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 	model, _ := ms.Build()
 	m, err := meshio.LoadFile(*meshFile, model)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	if err := m.CheckConsistency(); err != nil {
-		log.Fatalf("mesh inconsistent: %v", err)
+		cmdutil.Failf("mesh inconsistent: %v", err)
 	}
 	cmdutil.PrintMeshStats(os.Stdout, m)
 
@@ -109,12 +107,12 @@ func main() {
 	}
 	af, err := os.Open(*assignFile)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	assign, err := meshio.ReadAssignment(af)
 	af.Close()
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	nparts := 0
 	for _, p := range assign {
@@ -123,7 +121,7 @@ func main() {
 		}
 	}
 	if nparts%*ranks != 0 {
-		log.Fatalf("part count %d not divisible by ranks %d", nparts, *ranks)
+		cmdutil.Usagef("part count %d not divisible by ranks %d", nparts, *ranks)
 	}
 	fmt.Printf("\npartition analysis (%d parts over %d ranks):\n", nparts, *ranks)
 	err = pcu.Run(*ranks, func(ctx *pcu.Ctx) error {
@@ -167,6 +165,6 @@ func main() {
 		return partition.CheckDistributed(dm)
 	})
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 }

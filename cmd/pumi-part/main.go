@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
@@ -22,21 +21,22 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pumi-part: ")
+	cmdutil.SetTool("pumi-part")
 	meshFile := flag.String("mesh", "", "input mesh file (from pumi-gen)")
 	modelFlag := flag.String("model", "", "model spec matching the mesh (optional; used for snapping metadata)")
 	parts := flag.Int("parts", 4, "number of parts")
 	method := flag.String("method", "rcb", "partitioner: rcb | rib | graph | hypergraph")
 	out := flag.String("o", "", "output assignment file (optional)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts the run")
 	flag.Parse()
+	defer cmdutil.WithTimeout(*timeout)()
 	if *meshFile == "" {
-		log.Fatal("-mesh is required")
+		cmdutil.Usagef("-mesh is required")
 	}
 	model := cmdutilModel(*modelFlag)
 	m, err := meshio.LoadFile(*meshFile, model)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Fail(err)
 	}
 	start := time.Now()
 	var assign []int32
@@ -54,7 +54,7 @@ func main() {
 		h, _ := zpart.ElementHypergraph(m, 0)
 		assign = zpart.PHG(h, *parts)
 	default:
-		log.Fatalf("unknown method %q", *method)
+		cmdutil.Usagef("unknown method %q", *method)
 	}
 	elapsed := time.Since(start)
 
@@ -81,14 +81,14 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		defer f.Close()
 		if err := meshio.WriteAssignment(f, assign); err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			cmdutil.Fail(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
@@ -100,7 +100,7 @@ func cmdutilModel(spec string) *gmi.Model {
 	}
 	ms, err := cmdutil.ParseModelSpec(spec)
 	if err != nil {
-		log.Fatal(err)
+		cmdutil.Usagef("%v", err)
 	}
 	model, _ := ms.Build()
 	return model

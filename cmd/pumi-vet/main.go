@@ -11,6 +11,13 @@
 //	collmismatch  collectives under rank-dependent branches
 //	bufdiscipline stale phase buffers / unchecked message readers
 //	enthandle     cross-part entity-handle comparisons
+//
+// Code that violates an invariant on purpose — the deadlock-diagnosis
+// tests skip collectives on some ranks to prove the watchdog catches
+// it — suppresses a finding with a directive on or directly above the
+// offending line:
+//
+//	pcu.SumInt64(c, 1) //pumi-vet:ignore collmismatch
 package main
 
 import (
@@ -19,10 +26,12 @@ import (
 	"os"
 	"strings"
 
+	"github.com/fastmath/pumi-go/internal/cmdutil"
 	"github.com/fastmath/pumi-go/internal/lint"
 )
 
 func main() {
+	cmdutil.SetTool("pumi-vet")
 	var (
 		list    = flag.Bool("list", false, "list analyzers and exit")
 		only    = flag.String("analyzers", "", "comma-separated subset of analyzers to run")
@@ -56,27 +65,23 @@ func main() {
 			}
 		}
 		for name := range keep {
-			fmt.Fprintf(os.Stderr, "pumi-vet: unknown analyzer %q\n", name)
-			os.Exit(2)
+			cmdutil.Usagef("unknown analyzer %q", name)
 		}
 		analyzers = sel
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pumi-vet:", err)
-		os.Exit(2)
+		cmdutil.Usagef("%v", err)
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pumi-vet:", err)
-		os.Exit(2)
+		cmdutil.Usagef("%v", err)
 	}
 	loader.IncludeTests = !*noTests
 	pkgs, err := loader.Load(cwd, flag.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pumi-vet:", err)
-		os.Exit(2)
+		cmdutil.Usagef("%v", err)
 	}
 
 	diags := lint.Run(pkgs, analyzers)
@@ -84,7 +89,6 @@ func main() {
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pumi-vet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		cmdutil.Failf("%d finding(s)", len(diags))
 	}
 }

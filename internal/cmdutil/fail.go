@@ -1,0 +1,76 @@
+package cmdutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// Exit codes shared by every command: usage errors (bad flags, missing
+// arguments) exit 2 so scripts can tell them from runtime failures,
+// which exit 1.
+const (
+	ExitRuntime = 1
+	ExitUsage   = 2
+)
+
+var (
+	tool             = "pumi"
+	stderr io.Writer = os.Stderr
+	exit             = os.Exit // swapped out by tests
+)
+
+// SetTool names the running command for failure messages.
+func SetTool(name string) { tool = name }
+
+// Fail reports a runtime error and exits with ExitRuntime.
+func Fail(err error) {
+	fmt.Fprintf(stderr, "%s: %v\n", tool, err)
+	exit(ExitRuntime)
+}
+
+// Failf is Fail with formatting.
+func Failf(format string, args ...any) {
+	fmt.Fprintf(stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	exit(ExitRuntime)
+}
+
+// Usagef reports a command-line usage error and exits with ExitUsage.
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	exit(ExitUsage)
+}
+
+// WithTimeout arms a wall-clock limit on the whole command. When it
+// expires, every running pcu world is aborted so blocked collectives
+// unwind with a structured cause (the run's error names the timeout
+// rather than the process dying silently); if the process still has not
+// exited after a grace period — a hang outside any collective — it is
+// terminated. The returned func disarms the limit; d <= 0 is a no-op.
+func WithTimeout(d time.Duration) func() {
+	if d <= 0 {
+		return func() {}
+	}
+	name, w, die := tool, stderr, exit
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			return
+		case <-time.After(d):
+		}
+		cause := fmt.Errorf("wall-clock timeout after %v", d)
+		n := pcu.AbortAll(cause)
+		fmt.Fprintf(w, "%s: timeout after %v, aborting %d parallel run(s)\n", name, d, n)
+		select {
+		case <-stop:
+		case <-time.After(10 * time.Second):
+			fmt.Fprintf(w, "%s: run did not unwind after abort, exiting\n", name)
+			die(ExitRuntime)
+		}
+	}()
+	return func() { close(stop) }
+}

@@ -1,0 +1,80 @@
+package cmdutil
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// captureExit reroutes Fail/Usagef side effects into memory for one
+// test, restoring the real os.Exit/os.Stderr on cleanup.
+func captureExit(t *testing.T) (*int, *bytes.Buffer) {
+	t.Helper()
+	code := -1
+	var buf bytes.Buffer
+	stderr = &buf
+	exit = func(c int) { code = c; panic("cmdutil: exit") }
+	t.Cleanup(func() {
+		stderr = os.Stderr
+		exit = os.Exit
+	})
+	return &code, &buf
+}
+
+func runToExit(f func()) {
+	defer func() { recover() }()
+	f()
+}
+
+func TestFailExitCodes(t *testing.T) {
+	code, buf := captureExit(t)
+	SetTool("vet-test")
+	defer SetTool("pumi")
+
+	runToExit(func() { Fail(errors.New("disk on fire")) })
+	if *code != ExitRuntime {
+		t.Fatalf("Fail exited %d, want %d", *code, ExitRuntime)
+	}
+	runToExit(func() { Usagef("-mesh is required") })
+	if *code != ExitUsage {
+		t.Fatalf("Usagef exited %d, want %d", *code, ExitUsage)
+	}
+	out := buf.String()
+	for _, want := range []string{"vet-test: disk on fire", "vet-test: -mesh is required"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stderr %q missing %q", out, want)
+		}
+	}
+}
+
+func TestWithTimeoutAbortsParallelRuns(t *testing.T) {
+	captureExit(t)
+	disarm := WithTimeout(50 * time.Millisecond)
+	defer disarm()
+	err := pcu.Run(2, func(ctx *pcu.Ctx) error {
+		for {
+			ctx.Barrier()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "wall-clock timeout") {
+		t.Fatalf("want timeout-cause teardown, got %v", err)
+	}
+}
+
+func TestWithTimeoutDisarmed(t *testing.T) {
+	code, _ := captureExit(t)
+	disarm := WithTimeout(10 * time.Millisecond)
+	disarm()
+	time.Sleep(30 * time.Millisecond)
+	if n := pcu.AbortAll(errors.New("probe")); n != 0 {
+		t.Fatalf("disarmed timeout left %d aborted runs", n)
+	}
+	if *code != -1 {
+		t.Fatalf("disarmed timeout exited with %d", *code)
+	}
+}

@@ -177,10 +177,72 @@ func (f *Facts) IsCollective(fn *types.Func) bool {
 	return f.collective[funcKey{pkg, recv, fn.Name()}]
 }
 
+// ignoreKey addresses one source line for directive suppression.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// gatherIgnores collects `//pumi-vet:ignore` directives. The directive
+// takes a comma-separated analyzer list (or "all") and suppresses
+// matching findings on its own line — the trailing-comment form — and
+// on the line directly below, for a standalone comment above the
+// offender:
+//
+//	c.Barrier() //pumi-vet:ignore collmismatch
+//
+//	//pumi-vet:ignore collmismatch
+//	pcu.SumInt64(c, 1)
+//
+// It exists for code whose job is to violate an invariant on purpose —
+// chiefly the deadlock-diagnosis tests, which skip collectives on some
+// ranks to prove the watchdog catches it.
+func gatherIgnores(pkgs []*Package) map[ignoreKey]map[string]bool {
+	ign := map[ignoreKey]map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//pumi-vet:ignore")
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					// Allow a trailing explanation: "...ignore x // why".
+					if i := strings.Index(rest, "//"); i >= 0 {
+						rest = rest[:i]
+					}
+					names := map[string]bool{}
+					for _, n := range strings.Split(rest, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names[n] = true
+						}
+					}
+					if len(names) == 0 {
+						names["all"] = true
+					}
+					pos := p.Fset.Position(c.Pos())
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := ignoreKey{pos.Filename, line}
+						if ign[k] == nil {
+							ign[k] = map[string]bool{}
+						}
+						for n := range names {
+							ign[k][n] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return ign
+}
+
 // Run executes the given analyzers over the packages and returns all
-// findings sorted by position.
+// findings sorted by position, dropping those suppressed by
+// //pumi-vet:ignore directives.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	facts := gatherFacts(pkgs)
+	ignored := gatherIgnores(pkgs)
 	var diags []Diagnostic
 	for _, p := range pkgs {
 		for _, a := range analyzers {
@@ -188,7 +250,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Package:  p,
 				Facts:    facts,
 				analyzer: a,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				report: func(d Diagnostic) {
+					if names := ignored[ignoreKey{d.Pos.Filename, d.Pos.Line}]; names["all"] || names[d.Analyzer] {
+						return
+					}
+					diags = append(diags, d)
+				},
 			}
 			a.Run(pass)
 		}

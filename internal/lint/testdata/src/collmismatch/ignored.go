@@ -1,0 +1,40 @@
+package collmismatch
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+// //pumi-vet:ignore directives: deliberate invariant violations (e.g.
+// deadlock-diagnosis tests) suppress the matching analyzer on their own
+// line or the line below; a directive naming a different analyzer does
+// not suppress, and neither does one two lines away.
+
+func ignoredTrailing(c *pcu.Ctx) {
+	if c.Rank() == 0 {
+		c.Barrier() //pumi-vet:ignore collmismatch
+	}
+}
+
+func ignoredLineAbove(c *pcu.Ctx) {
+	if c.Rank() == 0 {
+		//pumi-vet:ignore collmismatch
+		_ = pcu.SumInt64(c, 1)
+	}
+}
+
+func ignoredAll(c *pcu.Ctx) {
+	if c.Rank() == 0 {
+		c.Barrier() //pumi-vet:ignore all
+	}
+}
+
+func wrongAnalyzerStillFires(c *pcu.Ctx) {
+	if c.Rank() == 0 {
+		c.Barrier() //pumi-vet:ignore ctxescape // want `collective Barrier`
+	}
+}
+
+func tooFarAwayStillFires(c *pcu.Ctx) {
+	//pumi-vet:ignore collmismatch
+	if c.Rank() == 0 {
+		c.Barrier() // want `collective Barrier`
+	}
+}

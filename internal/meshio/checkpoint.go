@@ -1,0 +1,402 @@
+package meshio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/partition"
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// Distributed checkpoint format. A checkpoint is a directory holding
+// one binary file per part (mesh topology + tags via the meshio format,
+// plus global ids, ownership and residence sets) and a JSON manifest
+// naming the files with sizes and CRCs plus a restart cursor. The
+// manifest is committed last by an atomic rename, so a crash mid-save
+// leaves the previous checkpoint loadable; each save uses a fresh
+// sequence number as its file prefix so it never overwrites the
+// checkpoint it may be replacing. Remote-copy handles are process-local
+// and are not stored: LoadCheckpoint rebuilds the links from residence
+// sets by global id (partition.Assemble), which also lets a checkpoint
+// saved on one world restart on a different rank count, as long as the
+// rank count divides the part count.
+
+const (
+	checkpointMagic  = "pumi-checkpoint-v1"
+	partMagic        = "PUMICK01"
+	manifestName     = "checkpoint.json"
+	partFilePattern  = "g%d-part-%04d.pumip"
+	partFileGlobStar = "g*-part-*.pumip"
+)
+
+// Cursor records where in an interrupted computation the checkpoint was
+// taken, so a restart can resume instead of starting over.
+type Cursor struct {
+	Phase string `json:"phase"`
+	Level int    `json:"level"`
+	Iter  int    `json:"iter"`
+}
+
+// CheckpointFile describes one committed part file.
+type CheckpointFile struct {
+	Name string `json:"name"`
+	Part int32  `json:"part"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc32"`
+}
+
+type checkpointManifest struct {
+	Magic  string           `json:"magic"`
+	Seq    int64            `json:"seq"`
+	NParts int              `json:"nparts"`
+	Dim    int              `json:"dim"`
+	Cursor Cursor           `json:"cursor"`
+	Files  []CheckpointFile `json:"files"`
+}
+
+// CheckpointExists reports whether dir holds a committed checkpoint.
+func CheckpointExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+func readManifest(dir string) (*checkpointManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var man checkpointManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("meshio: corrupt checkpoint manifest: %w", err)
+	}
+	if man.Magic != checkpointMagic {
+		return nil, fmt.Errorf("meshio: bad checkpoint magic %q", man.Magic)
+	}
+	return &man, nil
+}
+
+// encodePart serializes one part: the mesh as a length-prefixed meshio
+// blob (self-delimiting, since the mesh reader buffers), then the gid /
+// owner / residence record of every entity in iteration order — the
+// same order the mesh blob stores them, so load realigns by position.
+func encodePart(p *partition.Part) ([]byte, error) {
+	m := p.M
+	var buf bytes.Buffer
+	buf.WriteString(partMagic)
+	var blob bytes.Buffer
+	if err := Write(&blob, m); err != nil {
+		return nil, err
+	}
+	binary.Write(&buf, binary.LittleEndian, uint64(blob.Len()))
+	buf.Write(blob.Bytes())
+	binary.Write(&buf, binary.LittleEndian, m.Part())
+	binary.Write(&buf, binary.LittleEndian, p.FreshCounter())
+	for d := 0; d <= m.Dim(); d++ {
+		binary.Write(&buf, binary.LittleEndian, uint32(m.Count(d)))
+		for e := range m.Iter(d) {
+			binary.Write(&buf, binary.LittleEndian, p.Gid(e))
+			binary.Write(&buf, binary.LittleEndian, m.Owner(e))
+			res := m.Residence(e).Values()
+			binary.Write(&buf, binary.LittleEndian, uint32(len(res)))
+			binary.Write(&buf, binary.LittleEndian, res)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePart rebuilds one part from its file contents, returning the
+// multi-part residence sets for partition.Assemble.
+func decodePart(data []byte, pid int32, model *gmi.Model, dim int) (*partition.Part, map[mesh.Ent][]int32, error) {
+	r := bytes.NewReader(data)
+	head := make([]byte, len(partMagic))
+	if _, err := r.Read(head); err != nil || string(head) != partMagic {
+		return nil, nil, fmt.Errorf("meshio: part %d: bad part-file magic %q", pid, head)
+	}
+	var blobLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &blobLen); err != nil {
+		return nil, nil, fmt.Errorf("meshio: part %d: truncated part file: %w", pid, err)
+	}
+	if blobLen > uint64(r.Len()) {
+		return nil, nil, fmt.Errorf("meshio: part %d: mesh blob of %d bytes but only %d remain", pid, blobLen, r.Len())
+	}
+	blob := make([]byte, blobLen)
+	if _, err := r.Read(blob); err != nil {
+		return nil, nil, err
+	}
+	m, err := Read(bytes.NewReader(blob), model)
+	if err != nil {
+		return nil, nil, fmt.Errorf("meshio: part %d: %w", pid, err)
+	}
+	if m.Dim() != dim {
+		return nil, nil, fmt.Errorf("meshio: part %d has dimension %d, manifest says %d", pid, m.Dim(), dim)
+	}
+	var storedPid int32
+	var counter int64
+	if err := binary.Read(r, binary.LittleEndian, &storedPid); err != nil {
+		return nil, nil, fmt.Errorf("meshio: part %d: truncated part file: %w", pid, err)
+	}
+	if storedPid != pid {
+		return nil, nil, fmt.Errorf("meshio: file for part %d stores part id %d", pid, storedPid)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &counter); err != nil {
+		return nil, nil, fmt.Errorf("meshio: part %d: truncated part file: %w", pid, err)
+	}
+	m.SetPart(pid)
+	p := partition.NewPart(m)
+	p.RestoreFreshCounter(counter)
+	res := map[mesh.Ent][]int32{}
+	for d := 0; d <= dim; d++ {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, nil, fmt.Errorf("meshio: part %d: truncated part file: %w", pid, err)
+		}
+		if int(n) != m.Count(d) {
+			return nil, nil, fmt.Errorf("meshio: part %d: %d dim-%d records for %d entities", pid, n, d, m.Count(d))
+		}
+		for e := range m.Iter(d) {
+			var gid int64
+			var owner int32
+			var nres uint32
+			if err := binary.Read(r, binary.LittleEndian, &gid); err != nil {
+				return nil, nil, fmt.Errorf("meshio: part %d: truncated part file: %w", pid, err)
+			}
+			binary.Read(r, binary.LittleEndian, &owner)
+			if err := binary.Read(r, binary.LittleEndian, &nres); err != nil {
+				return nil, nil, fmt.Errorf("meshio: part %d: truncated part file: %w", pid, err)
+			}
+			if nres == 0 || uint64(nres)*4 > uint64(r.Len()) {
+				return nil, nil, fmt.Errorf("meshio: part %d: corrupt residence count %d", pid, nres)
+			}
+			vals := make([]int32, nres)
+			if err := binary.Read(r, binary.LittleEndian, &vals); err != nil {
+				return nil, nil, err
+			}
+			p.RestoreGid(e, gid)
+			m.SetOwner(e, owner)
+			if len(vals) > 1 {
+				res[e] = vals
+			}
+		}
+	}
+	if r.Len() != 0 {
+		return nil, nil, fmt.Errorf("meshio: part %d: %d trailing bytes", pid, r.Len())
+	}
+	return p, res, nil
+}
+
+// gatherErrors is the collective agreement step: every rank contributes
+// its local error (or none) and all ranks return the same combined
+// error, so a local file failure cannot desynchronize the world.
+func gatherErrors(ctx *pcu.Ctx, localErr error, doing string) error {
+	s := ""
+	if localErr != nil {
+		s = localErr.Error()
+	}
+	var causes []string
+	for r, m := range pcu.Allgather(ctx, s) {
+		if m != "" {
+			causes = append(causes, fmt.Sprintf("rank %d: %s", r, m))
+		}
+	}
+	if len(causes) == 0 {
+		return nil
+	}
+	return fmt.Errorf("meshio: %s: %s", doing, strings.Join(causes, "; "))
+}
+
+type saveReport struct {
+	files []CheckpointFile
+	err   string
+}
+
+// SaveCheckpoint writes a restartable snapshot of dm into dir. It is
+// collective; every rank writes its own parts and rank 0 commits the
+// manifest last, atomically, after all ranks report success. The cursor
+// is stored verbatim for the restarting computation. Ghost copies are
+// not checkpointable; remove them first.
+func SaveCheckpoint(dir string, dm *partition.DMesh, cur Cursor) error {
+	ctx := dm.Ctx
+	var seq int64 = 1
+	if ctx.Rank() == 0 {
+		if man, err := readManifest(dir); err == nil {
+			seq = man.Seq + 1
+		}
+	}
+	seq = pcu.Bcast(ctx, 0, seq)
+
+	var localErr error
+	var metas []CheckpointFile
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		localErr = err
+	}
+	for _, p := range dm.Parts {
+		if localErr != nil {
+			break
+		}
+		if p.HasGhosts() {
+			localErr = fmt.Errorf("part %d holds ghosts; remove ghosts before checkpointing", p.M.Part())
+			break
+		}
+		data, err := encodePart(p)
+		if err != nil {
+			localErr = err
+			break
+		}
+		name := fmt.Sprintf(partFilePattern, seq, p.M.Part())
+		path := filepath.Join(dir, name)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			localErr = err
+			break
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			localErr = err
+			break
+		}
+		metas = append(metas, CheckpointFile{
+			Name: name,
+			Part: p.M.Part(),
+			Size: int64(len(data)),
+			CRC:  crc32.ChecksumIEEE(data),
+		})
+	}
+	errStr := ""
+	if localErr != nil {
+		errStr = localErr.Error()
+	}
+	reports := pcu.Allgather(ctx, saveReport{files: metas, err: errStr})
+
+	commitErr := ""
+	if ctx.Rank() == 0 {
+		var causes []string
+		var files []CheckpointFile
+		for r, rep := range reports {
+			if rep.err != "" {
+				causes = append(causes, fmt.Sprintf("rank %d: %s", r, rep.err))
+			}
+			files = append(files, rep.files...)
+		}
+		switch {
+		case len(causes) > 0:
+			commitErr = strings.Join(causes, "; ")
+		default:
+			sort.Slice(files, func(i, j int) bool { return files[i].Part < files[j].Part })
+			man := checkpointManifest{
+				Magic:  checkpointMagic,
+				Seq:    seq,
+				NParts: dm.NParts(),
+				Dim:    dm.Dim,
+				Cursor: cur,
+				Files:  files,
+			}
+			if err := commitManifest(dir, &man); err != nil {
+				commitErr = err.Error()
+			} else {
+				cleanupStale(dir, &man)
+			}
+		}
+	}
+	commitErr = pcu.Bcast(ctx, 0, commitErr)
+	if commitErr != "" {
+		return fmt.Errorf("meshio: saving checkpoint: %s", commitErr)
+	}
+	return nil
+}
+
+func commitManifest(dir string, man *checkpointManifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// cleanupStale removes part files not referenced by the committed
+// manifest (the previous checkpoint's generation). Best effort: a
+// leftover file can never be confused for current state, since loads go
+// through the manifest.
+func cleanupStale(dir string, man *checkpointManifest) {
+	keep := map[string]bool{}
+	for _, f := range man.Files {
+		keep[f.Name] = true
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, partFileGlobStar))
+	for _, p := range paths {
+		if !keep[filepath.Base(p)] {
+			os.Remove(p)
+		}
+	}
+}
+
+// LoadCheckpoint rebuilds a DMesh from the checkpoint in dir on the
+// calling world, which may have a different rank count than the saver
+// as long as it divides the part count. It is collective and returns
+// the same result on every rank: the restored mesh passes
+// partition.Verify, and the cursor tells the caller where to resume.
+func LoadCheckpoint(dir string, ctx *pcu.Ctx, model *gmi.Model) (*partition.DMesh, Cursor, error) {
+	man, localErr := readManifest(dir)
+	if err := gatherErrors(ctx, localErr, "loading checkpoint manifest"); err != nil {
+		return nil, Cursor{}, err
+	}
+	if man.NParts%ctx.Size() != 0 {
+		return nil, Cursor{}, fmt.Errorf("meshio: checkpoint has %d parts, not divisible across %d ranks",
+			man.NParts, ctx.Size())
+	}
+	k := man.NParts / ctx.Size()
+	byPart := map[int32]CheckpointFile{}
+	for _, f := range man.Files {
+		byPart[f.Part] = f
+	}
+	parts := make([]*partition.Part, 0, k)
+	res := make([]map[mesh.Ent][]int32, 0, k)
+	for i := 0; i < k && localErr == nil; i++ {
+		pid := int32(ctx.Rank()*k + i)
+		f, ok := byPart[pid]
+		if !ok {
+			localErr = fmt.Errorf("meshio: checkpoint manifest lists no file for part %d", pid)
+			break
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f.Name))
+		if err != nil {
+			localErr = err
+			break
+		}
+		if int64(len(data)) != f.Size {
+			localErr = fmt.Errorf("meshio: %s is %d bytes, manifest says %d", f.Name, len(data), f.Size)
+			break
+		}
+		if crc := crc32.ChecksumIEEE(data); crc != f.CRC {
+			localErr = fmt.Errorf("meshio: %s fails its CRC check (%08x != %08x)", f.Name, crc, f.CRC)
+			break
+		}
+		p, r, err := decodePart(data, pid, model, man.Dim)
+		if err != nil {
+			localErr = err
+			break
+		}
+		parts = append(parts, p)
+		res = append(res, r)
+	}
+	if err := gatherErrors(ctx, localErr, "loading checkpoint parts"); err != nil {
+		return nil, Cursor{}, err
+	}
+	dm, err := partition.Assemble(ctx, model, man.Dim, k, parts, res)
+	if err != nil {
+		return nil, Cursor{}, err
+	}
+	return dm, man.Cursor, nil
+}

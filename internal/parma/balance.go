@@ -26,6 +26,13 @@ type Config struct {
 	// deterministic) order instead. Exists for the ablation benchmark;
 	// production callers leave it false.
 	NaiveSelection bool
+	// OnIter, when non-nil, is called after every completed migration
+	// iteration with the dimension being balanced and the iteration
+	// index — the checkpoint hook for restartable improvement runs. It
+	// is collective: every rank calls it at the same point and it must
+	// return the same decision on every rank (meshio.SaveCheckpoint
+	// already behaves this way). A non-nil error aborts balancing.
+	OnIter func(dm *partition.DMesh, dim, iter int) error
 }
 
 // DefaultConfig matches the paper's tests: 5% tolerance.
@@ -58,21 +65,39 @@ type Result struct {
 // Balancing a type never knowingly pushes a higher-priority type past
 // tolerance on any destination part.
 func Balance(dm *partition.DMesh, pri Priority, cfg Config) Result {
+	res, err := BalanceSafe(dm, pri, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BalanceSafe is Balance with migration faults surfaced as an error
+// instead of a panic: an aborted migration (partition.ErrMigrateAborted)
+// or a failing OnIter hook stops balancing on every rank and returns the
+// same error everywhere, leaving the mesh in its last consistent state —
+// the state of the most recent completed iteration. The partial Result
+// accompanies the error.
+func BalanceSafe(dm *partition.DMesh, pri Priority, cfg Config) (Result, error) {
 	t := dm.Ctx.Counters().Start("parma.balance")
 	defer t.Stop()
 	start := time.Now()
 	res := Result{Priority: pri}
 	for li, level := range pri {
 		for _, t := range level {
-			lr := balanceDim(dm, pri, li, t, cfg)
+			lr, err := balanceDim(dm, pri, li, t, cfg)
 			res.Levels = append(res.Levels, lr)
+			if err != nil {
+				res.Elapsed = time.Since(start)
+				return res, err
+			}
 		}
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
-func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) LevelResult {
+func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (LevelResult, error) {
 	lr := LevelResult{Dim: t}
 	higher := pri.guarded(li, t)
 	best := 0.0
@@ -97,7 +122,7 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) LevelR
 		}
 		if imb <= cfg.Tolerance {
 			lr.Iters = iter
-			return lr
+			return lr, nil
 		}
 		// Stagnation cutoff: diffusion that keeps moving elements
 		// without lowering the peak for several iterations is
@@ -118,8 +143,16 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) LevelR
 			moved += int64(len(p))
 		}
 		totalMoved := sumAcross(dm, moved)
-		partition.Migrate(dm, plans)
+		if err := partition.TryMigrate(dm, plans); err != nil {
+			lr.Iters = iter
+			return lr, err
+		}
 		lr.Iters = iter + 1
+		if cfg.OnIter != nil {
+			if err := cfg.OnIter(dm, t, iter); err != nil {
+				return lr, err
+			}
+		}
 		if totalMoved == 0 {
 			// Diffusion stalled; no point iterating further.
 			break
@@ -128,7 +161,7 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) LevelR
 	counts := gatherAll(dm)
 	lr.MeanAfter, lr.After = 0, 0
 	lr.MeanAfter, lr.After = partition.Imbalance(counts[t])
-	return lr
+	return lr, nil
 }
 
 func sumAcross(dm *partition.DMesh, v int64) int64 {

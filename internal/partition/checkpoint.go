@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// Checkpoint restore support: the meshio checkpoint format stores each
+// part's mesh, global ids, ownership and residence sets on disk; this
+// file exports just enough of the Part bookkeeping to rebuild a DMesh
+// from that state, and Assemble to restitch the remote-copy links that
+// are never stored (handles are process-local and meaningless across
+// restarts).
+
+// NewPart wraps a mesh in the distribution-layer bookkeeping (gid
+// tables and lifecycle hooks). The checkpoint loader uses it on meshes
+// whose entities already exist; ids are then restored with RestoreGid.
+func NewPart(m *mesh.Mesh) *Part { return newPart(m) }
+
+// RestoreGid assigns e the global id recorded in a checkpoint.
+func (p *Part) RestoreGid(e mesh.Ent, gid int64) { p.setGid(e, gid) }
+
+// FreshCounter returns the part-scoped id allocation cursor, saved in
+// checkpoints so restored parts keep allocating unique ids.
+func (p *Part) FreshCounter() int64 { return p.counter }
+
+// RestoreFreshCounter resets the part-scoped id allocation cursor.
+func (p *Part) RestoreFreshCounter(v int64) { p.counter = v }
+
+// HasGhosts reports whether the part currently holds ghost copies.
+// Checkpoints exclude ghost state; callers remove ghosts before saving.
+func (p *Part) HasGhosts() bool { return p.nGhosts > 0 }
+
+// Assemble builds a DMesh from restored parts and rebuilds the
+// remote-copy links from each entity's residence set (res holds, per
+// local part, the multi-part residence of every shared entity). It is
+// collective; every rank must call it with the same layout. Entities
+// are matched across parts by global id — a residence entry naming a
+// part that holds no copy of the gid means the checkpoint is
+// inconsistent, and every rank returns the same error.
+func Assemble(ctx *pcu.Ctx, model *gmi.Model, dim, k int, parts []*Part, res []map[mesh.Ent][]int32) (*DMesh, error) {
+	if len(parts) != k {
+		panic(fmt.Sprintf("partition: Assemble with %d parts, want %d per rank", len(parts), k))
+	}
+	dm := &DMesh{Ctx: ctx, Model: model, Dim: dim, K: k, Parts: parts}
+	ph := dm.beginPhase()
+	for i, part := range parts {
+		m := part.M
+		self := m.Part()
+		ents := make([]mesh.Ent, 0, len(res[i]))
+		for e := range res[i] {
+			ents = append(ents, e)
+		}
+		sort.Slice(ents, func(a, b int) bool { return ents[a].Less(ents[b]) })
+		for _, e := range ents {
+			for _, q := range res[i][e] {
+				if q == self {
+					continue
+				}
+				b := ph.to(self, q)
+				b.Byte(byte(e.Dim()))
+				b.Int64(part.Gid(e))
+				b.Byte(byte(e.T))
+				b.Int32(e.I)
+			}
+		}
+	}
+	localErr := catchStage(func() {
+		for _, msg := range ph.exchange() {
+			part := dm.LocalPart(msg.To)
+			for !msg.Data.Empty() {
+				dd := int(msg.Data.Byte())
+				gid := msg.Data.Int64()
+				rt := mesh.Type(msg.Data.Byte())
+				ri := msg.Data.Int32()
+				e, ok := part.FindGid(dd, gid)
+				if !ok {
+					panic(migrateLocalError{fmt.Errorf(
+						"partition: checkpoint names part %d in the residence of gid %d dim %d, but that part holds no copy",
+						msg.To, gid, dd)})
+				}
+				part.M.SetRemote(e, msg.From, mesh.Ent{T: rt, I: ri})
+			}
+		}
+	})
+	s := ""
+	if localErr != nil {
+		s = localErr.Error()
+	}
+	var causes []string
+	for r, m := range pcu.Allgather(ctx, s) {
+		if m != "" {
+			causes = append(causes, fmt.Sprintf("rank %d: %s", r, m))
+		}
+	}
+	if len(causes) > 0 {
+		return nil, fmt.Errorf("partition: assembling checkpoint: %s", strings.Join(causes, "; "))
+	}
+	return dm, nil
+}

@@ -1,8 +1,10 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/fastmath/pumi-go/internal/ds"
 	"github.com/fastmath/pumi-go/internal/gmi"
@@ -15,9 +17,89 @@ import (
 // in the plan (or mapped to their own part) stay.
 type Plan map[mesh.Ent]int32
 
+// ErrMigrateAborted is wrapped by every TryMigrate abort: the migration
+// was rolled back before any destructive step and the source DMesh is
+// intact (it still passes Verify).
+var ErrMigrateAborted = errors.New("partition: migration aborted")
+
+// migrateLocalError marks a recoverable local validation failure inside
+// a migration stage; catchStage converts it to an error for the abort
+// vote instead of tearing the run down.
+type migrateLocalError struct{ err error }
+
+// catchStage runs f, converting recoverable local failures — corrupt
+// off-node frames and staged-data validation — into a returned error.
+// Teardown panics (peer failure, watchdog stall) and genuine bugs
+// propagate.
+func catchStage(f func()) (err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if le, ok := p.(migrateLocalError); ok {
+			err = le.err
+			return
+		}
+		if e, ok := p.(error); ok && errors.Is(e, pcu.ErrCorruptMessage) {
+			err = e
+			return
+		}
+		panic(p)
+	}()
+	f()
+	return nil
+}
+
+// voteAbort is the collective go/no-go decision after a staging step:
+// every rank contributes its local error (or none), and if any part of
+// the world failed, every rank returns the same abort error naming all
+// causes. The Allgather keeps the collective schedule aligned even when
+// only some ranks failed.
+func voteAbort(dm *DMesh, localErr error, stage string) error {
+	s := ""
+	if localErr != nil {
+		s = localErr.Error()
+	}
+	all := pcu.Allgather(dm.Ctx, s)
+	var causes []string
+	for r, m := range all {
+		if m != "" {
+			causes = append(causes, fmt.Sprintf("rank %d: %s", r, m))
+		}
+	}
+	if len(causes) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w while %s: %s", ErrMigrateAborted, stage, strings.Join(causes, "; "))
+}
+
+// rollbackCreated destroys the entities a migration staged onto each
+// part, newest first so no entity is removed before its upward
+// adjacencies. After rollback the mesh is exactly as before TryMigrate:
+// staging only ever creates entities, it never mutates existing ones.
+func rollbackCreated(dm *DMesh, created [][]mesh.Ent) {
+	for i, list := range created {
+		m := dm.Parts[i].M
+		for j := len(list) - 1; j >= 0; j-- {
+			m.Destroy(list[j])
+		}
+	}
+}
+
 // Migrate moves mesh elements between parts according to per-local-part
-// plans (indexed like dm.Parts; nil entries mean no moves). It is
-// collective: every rank must call it, even with empty plans.
+// plans. It is TryMigrate with failures escalated to panics; callers
+// that want to survive an aborted migration use TryMigrate directly.
+func Migrate(dm *DMesh, plans []Plan) {
+	if err := TryMigrate(dm, plans); err != nil {
+		panic(err)
+	}
+}
+
+// TryMigrate moves mesh elements between parts according to
+// per-local-part plans (indexed like dm.Parts; nil entries mean no
+// moves). It is collective: every rank must call it, even with empty
+// plans.
 //
 // The procedure follows Seol's distributed mesh migration: (1) compute
 // each affected entity's new residence part set by combining local
@@ -27,7 +109,16 @@ type Plan map[mesh.Ent]int32
 // elements and downward entities left without local adjacency; (4)
 // rebuild remote-copy links and ownership for every entity whose
 // residence changed.
-func Migrate(dm *DMesh, plans []Plan) {
+//
+// The steps are ordered stage-validate-commit: residence staging and
+// closure shipment only ever add entities, and each is followed by a
+// collective abort vote. A failure before commit (a corrupt off-node
+// frame, a closure that failed validation) rolls back the staged
+// entities on every rank and returns an error wrapping
+// ErrMigrateAborted, leaving the source DMesh Verify-intact. Only after
+// the votes pass does TryMigrate destroy migrated elements and restitch
+// remote links.
+func TryMigrate(dm *DMesh, plans []Plan) error {
 	t := dm.Ctx.Counters().Start("partition.migrate")
 	defer t.Stop()
 	d := dm.Dim
@@ -112,6 +203,7 @@ func Migrate(dm *DMesh, plans []Plan) {
 			b.Int32s(s.Values())
 		}
 	}
+	var localErr error
 	ph := dm.beginPhase()
 	for i, part := range dm.Parts {
 		m := part.M
@@ -154,23 +246,39 @@ func Migrate(dm *DMesh, plans []Plan) {
 		return fresh
 	}
 	roundTwo := make([][]mesh.Ent, len(dm.Parts))
-	for _, msg := range ph.exchange() {
-		li := dm.localIndex(msg.To)
-		for _, e := range applyContrib(msg) {
-			if !replied[li][e] {
-				replied[li][e] = true
-				roundTwo[li] = append(roundTwo[li], e)
+	localErr = catchStage(func() {
+		for _, msg := range ph.exchange() {
+			li := dm.localIndex(msg.To)
+			for _, e := range applyContrib(msg) {
+				if !replied[li][e] {
+					replied[li][e] = true
+					roundTwo[li] = append(roundTwo[li], e)
+				}
+			}
+		}
+	})
+	// A rank whose round-one decode failed still takes part in the
+	// round-two exchange (with nothing to send) so the collective
+	// schedule stays aligned all the way to the abort vote.
+	ph = dm.beginPhase()
+	if localErr == nil {
+		for i, part := range dm.Parts {
+			for _, e := range roundTwo[i] {
+				sendContrib(ph, part, e, newRes[i][e])
 			}
 		}
 	}
-	ph = dm.beginPhase()
-	for i, part := range dm.Parts {
-		for _, e := range roundTwo[i] {
-			sendContrib(ph, part, e, newRes[i][e])
+	if err := catchStage(func() {
+		for _, msg := range ph.exchange() {
+			applyContrib(msg)
 		}
+	}); localErr == nil {
+		localErr = err
 	}
-	for _, msg := range ph.exchange() {
-		applyContrib(msg)
+	if err := voteAbort(dm, localErr, "staging residence updates"); err != nil {
+		// Nothing has been created or destroyed yet; the vote is the
+		// only cleanup needed.
+		return err
 	}
 
 	// Step 3: ship moving elements with closures, grouped per
@@ -197,9 +305,20 @@ func Migrate(dm *DMesh, plans []Plan) {
 	for i := range received {
 		received[i] = map[mesh.Ent]ds.IntSet{}
 	}
-	for _, msg := range ph.exchange() {
-		unpackElements(dm, msg, received[dm.localIndex(msg.To)])
+	created := make([][]mesh.Ent, len(dm.Parts))
+	localErr = catchStage(func() {
+		for _, msg := range ph.exchange() {
+			li := dm.localIndex(msg.To)
+			unpackElements(dm, msg, received[li], &created[li])
+		}
+	})
+	if err := voteAbort(dm, localErr, "shipping element closures"); err != nil {
+		rollbackCreated(dm, created)
+		return err
 	}
+
+	// Commit point: every rank has staged and validated its incoming
+	// data. The destructive steps below run only on a unanimous vote.
 
 	// Step 4: remove migrated elements and orphaned closure entities.
 	for i, part := range dm.Parts {
@@ -316,6 +435,7 @@ func Migrate(dm *DMesh, plans []Plan) {
 		totalMoved += int64(len(dests[i]))
 	}
 	dm.Ctx.Counters().Add("partition.migrated-elements", totalMoved)
+	return nil
 }
 
 func (dm *DMesh) localIndex(part int32) int {
@@ -392,8 +512,9 @@ func packElements(b *pcu.Buffer, dm *DMesh, partIdx int, dest int32, els []mesh.
 // destination part, creating missing entities and recording the new
 // residence of every transferred entity. Tag data accompanies every
 // entity; it is applied to newly created copies (existing copies keep
-// their own values).
-func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet) {
+// their own values). Every created entity is appended to createdLog in
+// creation order so an aborted migration can roll the staging back.
+func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet, createdLog *[]mesh.Ent) {
 	part := dm.LocalPart(msg.To)
 	m := part.M
 	d := dm.Dim
@@ -414,6 +535,7 @@ func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet) {
 				if !ok {
 					e = m.CreateVertex(cls, vec.V{X: x, Y: y, Z: z})
 					part.setGid(e, gid)
+					*createdLog = append(*createdLog, e)
 				}
 				applyEntityTags(r, m, table, e, !ok)
 				mergeRes(recvRes, e, resVals)
@@ -431,12 +553,15 @@ func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet) {
 				down[j] = de
 			}
 			if missing {
-				panic(fmt.Sprintf("partition: entity gid %d dim %d arrived before its closure", gid, dd))
+				// Recoverable: the abort vote rolls the staging back.
+				panic(migrateLocalError{fmt.Errorf(
+					"partition: entity gid %d dim %d arrived before its closure", gid, dd)})
 			}
 			e, ok := part.FindGid(dd, gid)
 			if !ok {
 				e = m.CreateEntity(t, cls, down)
 				part.setGid(e, gid)
+				*createdLog = append(*createdLog, e)
 			}
 			applyEntityTags(r, m, table, e, !ok)
 			mergeRes(recvRes, e, resVals)

@@ -7,23 +7,25 @@ package pcu
 // Allreduce combines one value per rank with op and returns the result
 // on every rank.
 func Allreduce[T any](c *Ctx, v T, op func(T, T) T) T {
-	c.w.colls.Add(1)
+	c.collStart("allreduce")
+	defer c.endOp()
 	c.w.slots[c.rank] = v
-	c.w.bar.wait()
+	c.wait()
 	acc := c.w.slots[0].(T)
 	for r := 1; r < c.w.size; r++ {
 		acc = op(acc, c.w.slots[r].(T))
 	}
-	c.w.bar.wait()
+	c.wait()
 	return acc
 }
 
 // Reduce combines one value per rank with op; the result is valid on
 // root (other ranks receive the zero value).
 func Reduce[T any](c *Ctx, root int, v T, op func(T, T) T) T {
-	c.w.colls.Add(1)
+	c.collStart("reduce")
+	defer c.endOp()
 	c.w.slots[c.rank] = v
-	c.w.bar.wait()
+	c.wait()
 	var acc T
 	if c.rank == root {
 		acc = c.w.slots[0].(T)
@@ -31,46 +33,49 @@ func Reduce[T any](c *Ctx, root int, v T, op func(T, T) T) T {
 			acc = op(acc, c.w.slots[r].(T))
 		}
 	}
-	c.w.bar.wait()
+	c.wait()
 	return acc
 }
 
 // Bcast distributes root's value to every rank.
 func Bcast[T any](c *Ctx, root int, v T) T {
-	c.w.colls.Add(1)
+	c.collStart("bcast")
+	defer c.endOp()
 	if c.rank == root {
 		c.w.slots[root] = v
 	}
-	c.w.bar.wait()
+	c.wait()
 	out := c.w.slots[root].(T)
-	c.w.bar.wait()
+	c.wait()
 	return out
 }
 
 // Allgather returns every rank's value, indexed by rank, on every rank.
 func Allgather[T any](c *Ctx, v T) []T {
-	c.w.colls.Add(1)
+	c.collStart("allgather")
+	defer c.endOp()
 	c.w.slots[c.rank] = v
-	c.w.bar.wait()
+	c.wait()
 	out := make([]T, c.w.size)
 	for r := 0; r < c.w.size; r++ {
 		out[r] = c.w.slots[r].(T)
 	}
-	c.w.bar.wait()
+	c.wait()
 	return out
 }
 
 // Exscan returns the exclusive prefix reduction of v over ranks below
 // this one; rank 0 receives the provided identity.
 func Exscan[T any](c *Ctx, v, identity T, op func(T, T) T) T {
-	c.w.colls.Add(1)
+	c.collStart("exscan")
+	defer c.endOp()
 	c.w.slots[c.rank] = v
-	c.w.bar.wait()
+	c.wait()
 	acc := identity
 	for r := 0; r < c.rank; r++ {
 		acc = op(acc, c.w.slots[r].(T))
 	}
-	c.w.bar.wait()
+	c.wait()
 	return acc
 }
 

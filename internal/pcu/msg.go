@@ -89,16 +89,46 @@ type Message struct {
 // Reader decodes a received payload in the order it was packed.
 // Decoding past the end or against the wrong type indicates a protocol
 // bug between sender and receiver and panics with a diagnostic.
+//
+// A Reader backing an off-node frame that failed validation carries a
+// *CorruptError instead of data; every method — including Empty,
+// Remaining and Done — panics with it, so a corrupt message can never
+// be silently skipped by a decode loop. Callers that want to recover
+// structured corruption check Err first or recover the panic and test
+// it with errors.Is(err, ErrCorruptMessage).
 type Reader struct {
 	data []byte
 	off  int
+	fail *CorruptError
 }
 
 // NewReader wraps raw bytes for decoding.
 func NewReader(data []byte) *Reader { return &Reader{data: data} }
 
+// failedReader returns a Reader that surfaces err on any use.
+func failedReader(err *CorruptError) *Reader { return &Reader{fail: err} }
+
+// Err returns the frame-validation error carried by this Reader, or nil
+// if the payload arrived intact. Checking Err is the non-panicking way
+// to observe corruption.
+func (r *Reader) Err() error {
+	if r.fail == nil {
+		return nil
+	}
+	return r.fail
+}
+
+func (r *Reader) check() {
+	if r.fail != nil {
+		panic(r.fail)
+	}
+}
+
 // Remaining reports how many bytes are left to decode.
-func (r *Reader) Remaining() int { return len(r.data) - r.off }
+func (r *Reader) Remaining() int {
+	r.check()
+	return len(r.data) - r.off
+}
 
 // Empty reports whether the payload is fully consumed.
 func (r *Reader) Empty() bool { return r.Remaining() == 0 }
@@ -114,7 +144,8 @@ func (r *Reader) Done() {
 }
 
 func (r *Reader) need(n int) {
-	if r.Remaining() < n {
+	r.check()
+	if n < 0 || r.Remaining() < n {
 		panic(fmt.Sprintf("pcu: message underflow: need %d bytes, have %d", n, r.Remaining()))
 	}
 }
@@ -151,11 +182,26 @@ func (r *Reader) Float64() float64 {
 	return v
 }
 
+// lenPrefix decodes a length prefix and validates it against the bytes
+// actually remaining (elemSize bytes per element) BEFORE the caller
+// allocates, so a corrupt or hostile prefix yields a bounded diagnostic
+// panic instead of a multi-gigabyte allocation.
+func (r *Reader) lenPrefix(elemSize int) int {
+	n := int(r.Int32())
+	if n < 0 {
+		panic(fmt.Sprintf("pcu: corrupt length prefix %d", n))
+	}
+	if need := n * elemSize; need > r.Remaining() {
+		panic(fmt.Sprintf("pcu: corrupt length prefix: %d elements (%d bytes) but only %d bytes remain",
+			n, need, r.Remaining()))
+	}
+	return n
+}
+
 // BytesVal decodes a length-prefixed byte string. The returned slice
 // aliases the message buffer and must not be mutated.
 func (r *Reader) BytesVal() []byte {
-	n := int(r.Int32())
-	r.need(n)
+	n := r.lenPrefix(1)
 	v := r.data[r.off : r.off+n]
 	r.off += n
 	return v
@@ -163,7 +209,7 @@ func (r *Reader) BytesVal() []byte {
 
 // Int32s decodes a length-prefixed slice of 32-bit integers.
 func (r *Reader) Int32s() []int32 {
-	n := int(r.Int32())
+	n := r.lenPrefix(4)
 	out := make([]int32, n)
 	for i := range out {
 		out[i] = r.Int32()
@@ -173,7 +219,7 @@ func (r *Reader) Int32s() []int32 {
 
 // Float64s decodes a length-prefixed slice of floats.
 func (r *Reader) Float64s() []float64 {
-	n := int(r.Int32())
+	n := r.lenPrefix(8)
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = r.Float64()

@@ -1,0 +1,190 @@
+package pcu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Collective watchdog. A rank that skips a collective (or dies without
+// panicking) leaves its peers blocked in the shared barrier forever —
+// historically a silent hang. The watchdog turns that hang into an
+// actionable error: it polls the run's progress and, when the run can
+// no longer advance, poisons the barrier with a *StallError carrying a
+// per-rank diagnosis (which op each rank is blocked in and how many
+// collectives/exchanges it has completed).
+//
+// Two triggers:
+//
+//   - certain deadlock: every rank is either finished or blocked in the
+//     barrier, at least one is blocked, and the state is identical
+//     across two consecutive polls. No timeout is needed — the run
+//     provably cannot advance — so diagnosis is near-immediate.
+//   - timeout stall: at least one rank has been blocked with no barrier
+//     progress anywhere for longer than the configured stall timeout
+//     (covers livelock and pathological stragglers).
+
+// DefaultStallTimeout is the watchdog timeout used when Options leaves
+// StallTimeout zero. Legitimate compute phases between collectives must
+// finish within it; tests that provoke deadlocks use much smaller
+// values.
+const DefaultStallTimeout = 2 * time.Minute
+
+// ErrStalled is wrapped by every watchdog teardown.
+var ErrStalled = errors.New("pcu: collective stall")
+
+// RankSnapshot is one rank's progress record in a stall diagnosis.
+type RankSnapshot struct {
+	Rank        int
+	Op          string // op the rank is blocked in ("" while computing)
+	Collectives int64  // collectives entered by this rank
+	Exchanges   int64  // exchanges entered by this rank
+	Blocked     bool
+	Done        bool
+	Vanished    bool
+}
+
+func (r RankSnapshot) describe() string {
+	switch {
+	case r.Vanished:
+		return fmt.Sprintf("rank %d vanished (colls=%d exchs=%d)", r.Rank, r.Collectives, r.Exchanges)
+	case r.Done:
+		return fmt.Sprintf("rank %d finished (colls=%d exchs=%d)", r.Rank, r.Collectives, r.Exchanges)
+	case r.Blocked:
+		return fmt.Sprintf("rank %d blocked in %s (colls=%d exchs=%d)", r.Rank, r.Op, r.Collectives, r.Exchanges)
+	default:
+		return fmt.Sprintf("rank %d computing (colls=%d exchs=%d)", r.Rank, r.Collectives, r.Exchanges)
+	}
+}
+
+// StallError is the watchdog's diagnosis of a run that can no longer
+// make progress.
+type StallError struct {
+	Reason string
+	Ranks  []RankSnapshot
+}
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	b.WriteString("pcu: collective stall: ")
+	b.WriteString(e.Reason)
+	for _, r := range e.Ranks {
+		b.WriteString("\n  ")
+		b.WriteString(r.describe())
+	}
+	return b.String()
+}
+
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// snapshot collects every rank's progress state.
+func (w *World) snapshot() []RankSnapshot {
+	out := make([]RankSnapshot, len(w.ranks))
+	for i := range w.ranks {
+		rs := &w.ranks[i]
+		rs.mu.Lock()
+		out[i] = RankSnapshot{
+			Rank:        i,
+			Op:          rs.op,
+			Collectives: rs.colls,
+			Exchanges:   rs.exchs,
+			Blocked:     rs.blocked,
+			Done:        rs.done,
+			Vanished:    rs.vanished,
+		}
+		rs.mu.Unlock()
+	}
+	return out
+}
+
+func sameSnapshot(a, b []RankSnapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// watch runs until stop closes, poisoning the barrier with a
+// *StallError when the run stalls.
+func (w *World) watch(timeout time.Duration, stop chan struct{}) {
+	interval := timeout / 8
+	if interval > 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var prev []RankSnapshot
+	prevGen := -1
+	prevCertain := false
+	lastActivity := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if w.bar.isPoisoned() {
+			return // already tearing down
+		}
+		snap := w.snapshot()
+		parked, gen := w.bar.state()
+		if gen != prevGen || !sameSnapshot(prev, snap) {
+			lastActivity = time.Now()
+			prev, prevGen = snap, gen
+			prevCertain = false
+			continue
+		}
+		anyBlocked, allStuck, nBlocked := false, true, 0
+		for _, r := range snap {
+			if r.Blocked {
+				anyBlocked = true
+				nBlocked++
+			} else if !r.Done {
+				allStuck = false
+			}
+		}
+		if !anyBlocked {
+			lastActivity = time.Now()
+			continue
+		}
+		// Certain only when every flagged rank has actually parked in
+		// the barrier (a rank between flagging and parking might still
+		// be the arrival that fills it and releases everyone).
+		certain := allStuck && parked == nBlocked
+		if certain && prevCertain {
+			w.stall(&StallError{
+				Reason: "deadlock: every rank is finished or blocked, none can advance",
+				Ranks:  snap,
+			})
+			return
+		}
+		prevCertain = certain
+		if time.Since(lastActivity) > timeout {
+			w.stall(&StallError{
+				Reason: fmt.Sprintf("no progress for %v", timeout),
+				Ranks:  snap,
+			})
+			return
+		}
+	}
+}
+
+// stall records the diagnosis and releases all blocked ranks by
+// poisoning the barrier with it.
+func (w *World) stall(err *StallError) {
+	w.stallMu.Lock()
+	if w.stallErr == nil {
+		w.stallErr = err
+	}
+	w.stallMu.Unlock()
+	w.bar.poisonWith(err)
+}

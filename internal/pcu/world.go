@@ -3,10 +3,12 @@ package pcu
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/fastmath/pumi-go/internal/hwtopo"
 	"github.com/fastmath/pumi-go/internal/perf"
@@ -26,27 +28,73 @@ type Stats struct {
 	Collectives  int64
 }
 
+// Options configures a run beyond its rank count.
+type Options struct {
+	// Topo is the machine topology; the zero value maps all ranks onto
+	// one shared-memory node.
+	Topo hwtopo.Topology
+	// Faults is an optional deterministic failure schedule.
+	Faults *FaultPlan
+	// StallTimeout bounds how long the run may go without barrier
+	// progress before the watchdog tears it down with a *StallError.
+	// Zero selects DefaultStallTimeout; a negative value disables the
+	// watchdog entirely.
+	StallTimeout time.Duration
+}
+
 // World holds the shared state of one parallel run: the reusable
 // barrier, the collective scratch slots, the per-rank inboxes and the
 // traffic counters. Rank code never touches a World directly; it goes
 // through its Ctx.
 type World struct {
-	size int
-	topo hwtopo.Topology
-	bar  barrier
+	size   int
+	topo   hwtopo.Topology
+	bar    barrier
+	faults *FaultPlan
 
 	slots []any // collective scratch, one slot per rank
 
 	inboxes []inbox
+
+	// ranks is the per-rank progress state the watchdog polls.
+	ranks []rankState
+
+	stallMu  sync.Mutex
+	stallErr *StallError
 
 	onMsgs, offMsgs, onBytes, offBytes, colls atomic.Int64
 
 	counters perf.Counters
 }
 
+// rankState is one rank's progress record, written by the rank itself
+// and read by the watchdog under mu.
+type rankState struct {
+	mu       sync.Mutex
+	op       string // blocking op currently entered ("" while computing)
+	colls    int64
+	exchs    int64
+	blocked  bool // parked in the barrier
+	done     bool // body returned, panicked, or vanished
+	vanished bool
+}
+
 type inbox struct {
 	mu   sync.Mutex
-	msgs []Message
+	msgs []delivery
+}
+
+// delivery is one in-flight payload. Off-node payloads are framed:
+// length, CRC and a per-(sender,receiver) sequence number travel with
+// the copied bytes, and the receiver validates all three before
+// handing the data to decode.
+type delivery struct {
+	from    int
+	data    []byte
+	framed  bool
+	wantLen int
+	crc     uint32
+	seq     int64
 }
 
 // Ctx is one rank's view of the run. A Ctx must only be used by the
@@ -55,24 +103,56 @@ type Ctx struct {
 	w    *World
 	rank int
 	out  map[int]*Buffer
+
+	// pendingFault is a message-level fault armed by beginOp for the
+	// current Exchange and applied to each off-node send.
+	pendingFault *Fault
+	// sendSeq/recvSeq track off-node frame sequence numbers per peer.
+	sendSeq map[int]int64
+	recvSeq map[int]int64
+}
+
+// worlds tracks the active runs so AbortAll can tear them down.
+var worlds sync.Map // *World -> struct{}
+
+// AbortAll poisons every active run's barrier with cause, releasing all
+// blocked ranks. It returns the number of runs aborted. Used by command
+// wall-clock timeouts to turn a hung run into a diagnosable error.
+func AbortAll(cause error) int {
+	n := 0
+	worlds.Range(func(k, _ any) bool {
+		k.(*World).bar.poisonWith(cause)
+		n++
+		return true
+	})
+	return n
 }
 
 // Run executes body on n ranks mapped onto a single shared-memory node.
 func Run(n int, body func(*Ctx) error) error {
-	if n < 1 {
-		return fmt.Errorf("pcu: rank count %d < 1", n)
-	}
-	_, err := RunOn(n, hwtopo.Cluster(1, n), body)
+	_, err := RunOpt(n, Options{}, body)
 	return err
 }
 
 // RunOn executes body on n ranks mapped onto the given topology and
-// returns the aggregated communication statistics. It returns an error
-// if any rank returned an error or panicked; a panic on one rank tears
-// down the whole run (peers observe ErrPeerFailed).
+// returns the aggregated communication statistics.
 func RunOn(n int, topo hwtopo.Topology, body func(*Ctx) error) (Stats, error) {
+	return RunOpt(n, Options{Topo: topo}, body)
+}
+
+// RunOpt executes body on n ranks under the given options. It returns
+// an error if any rank returned an error or panicked; a panic on one
+// rank tears down the whole run (peers observe ErrPeerFailed). Faults
+// from opt.Faults are injected deterministically, and the collective
+// watchdog converts deadlocks into a *StallError naming each rank's
+// blocked operation and phase counts.
+func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 	if n < 1 {
 		return Stats{}, fmt.Errorf("pcu: rank count %d < 1", n)
+	}
+	topo := opt.Topo
+	if topo.Cores() == 0 {
+		topo = hwtopo.Cluster(1, n)
 	}
 	if topo.Cores() < n {
 		return Stats{}, fmt.Errorf("pcu: %d ranks exceed topology %v", n, topo)
@@ -80,48 +160,98 @@ func RunOn(n int, topo hwtopo.Topology, body func(*Ctx) error) (Stats, error) {
 	w := &World{
 		size:    n,
 		topo:    topo,
+		faults:  opt.Faults,
 		slots:   make([]any, n),
 		inboxes: make([]inbox, n),
+		ranks:   make([]rankState, n),
 	}
 	w.bar.init(n)
+	worlds.Store(w, struct{}{})
+	defer worlds.Delete(w)
+
+	timeout := opt.StallTimeout
+	if timeout == 0 {
+		timeout = DefaultStallTimeout
+	}
+	stop := make(chan struct{})
+	if timeout > 0 {
+		go w.watch(timeout, stop)
+	}
+
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for r := 0; r < n; r++ {
 		go func(rank int) {
 			defer wg.Done()
+			rs := &w.ranks[rank]
 			defer func() {
 				if p := recover(); p != nil {
-					if err, ok := p.(error); ok && errors.Is(err, ErrPeerFailed) {
-						errs[rank] = err
-					} else {
-						errs[rank] = fmt.Errorf("pcu: rank %d panicked: %v\n%s", rank, p, debug.Stack())
-					}
-					w.bar.poison()
+					errs[rank] = w.classify(rank, rs, p)
 				}
+				rs.mu.Lock()
+				rs.done = true
+				rs.blocked = false
+				rs.op = ""
+				rs.mu.Unlock()
 			}()
 			errs[rank] = body(&Ctx{w: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
-	// Report real failures before secondary ErrPeerFailed noise.
-	var primary, secondary []error
+	close(stop)
+	return w.Stats(), w.verdict(errs)
+}
+
+// classify converts one rank's recovered panic into its recorded error
+// and poisons the barrier when the panic is this rank's own failure
+// (rather than the propagated teardown cause).
+func (w *World) classify(rank int, rs *rankState, p any) error {
+	if _, ok := p.(vanishSignal); ok {
+		// The rank disappears without teardown; its peers deadlock and
+		// the watchdog reports the stall.
+		rs.mu.Lock()
+		rs.vanished = true
+		rs.mu.Unlock()
+		return nil
+	}
+	err, ok := p.(error)
+	if !ok {
+		w.bar.poison()
+		return fmt.Errorf("pcu: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+	}
+	switch {
+	case errors.Is(err, ErrPeerFailed) || err == w.bar.causeErr():
+		// Propagated teardown, not this rank's fault.
+		return err
+	case errors.Is(err, ErrFaultInjected) || errors.Is(err, ErrCorruptMessage):
+		// Structured failure: keep the message deterministic (no stack)
+		// so a seeded replay produces an identical error.
+		w.bar.poison()
+		return fmt.Errorf("pcu: rank %d: %w", rank, err)
+	default:
+		w.bar.poison()
+		return fmt.Errorf("pcu: rank %d panicked: %v\n%s", rank, err, debug.Stack())
+	}
+}
+
+// verdict reduces the per-rank errors to the run's single result,
+// reporting real failures before secondary teardown noise.
+func (w *World) verdict(errs []error) error {
+	cause := w.bar.causeErr()
+	var primary []error
 	for _, e := range errs {
-		switch {
-		case e == nil:
-		case errors.Is(e, ErrPeerFailed):
-			secondary = append(secondary, e)
-		default:
-			primary = append(primary, e)
+		if e == nil || e == cause || errors.Is(e, ErrPeerFailed) {
+			continue
 		}
+		primary = append(primary, e)
 	}
 	if len(primary) > 0 {
-		return w.Stats(), errors.Join(primary...)
+		return errors.Join(primary...)
 	}
-	if len(secondary) > 0 {
-		return w.Stats(), secondary[0]
-	}
-	return w.Stats(), nil
+	// No rank-level failure: the teardown cause itself is the story
+	// (watchdog stall, AbortAll, or a bare peer-failure echo).
+	return cause
 }
 
 // Stats returns a snapshot of the world's traffic counters.
@@ -161,6 +291,75 @@ func (c *Ctx) Counters() *perf.Counters { return &c.w.counters }
 // Stats returns a snapshot of the run-wide traffic counters.
 func (c *Ctx) Stats() Stats { return c.w.Stats() }
 
+// beginOp records entry into a blocking operation and injects any fault
+// the plan schedules for this rank at this op index.
+func (c *Ctx) beginOp(name string, isExchange bool) {
+	rs := &c.w.ranks[c.rank]
+	rs.mu.Lock()
+	rs.op = name
+	if isExchange {
+		rs.exchs++
+	} else {
+		rs.colls++
+	}
+	op := rs.colls + rs.exchs
+	rs.mu.Unlock()
+	f := c.w.faults.find(c.rank, op)
+	if f == nil {
+		return
+	}
+	switch f.Kind {
+	case FaultPanic:
+		panic(&FaultError{Fault: *f})
+	case FaultVanish:
+		panic(vanishSignal{fault: *f})
+	case FaultDelay:
+		time.Sleep(f.Delay)
+	case FaultCorrupt, FaultTruncate, FaultDuplicate:
+		c.pendingFault = f
+	}
+}
+
+// Ops returns how many blocking operations (collectives plus
+// exchanges) this rank has entered so far. Fault plans index operations
+// with the same 1-based count, so a harness can probe a deterministic
+// workload once and then aim faults at exact phases of a later run.
+func (c *Ctx) Ops() int64 {
+	rs := &c.w.ranks[c.rank]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.colls + rs.exchs
+}
+
+// endOp records leaving a blocking operation.
+func (c *Ctx) endOp() {
+	rs := &c.w.ranks[c.rank]
+	rs.mu.Lock()
+	rs.op = ""
+	rs.mu.Unlock()
+}
+
+// collStart is beginOp for collectives, also bumping the traffic stat.
+func (c *Ctx) collStart(name string) {
+	c.w.colls.Add(1)
+	c.beginOp(name, false)
+}
+
+// wait parks in the shared barrier, flagging the rank as blocked so the
+// watchdog can tell waiting from computing.
+func (c *Ctx) wait() {
+	rs := &c.w.ranks[c.rank]
+	rs.mu.Lock()
+	rs.blocked = true
+	rs.mu.Unlock()
+	defer func() {
+		rs.mu.Lock()
+		rs.blocked = false
+		rs.mu.Unlock()
+	}()
+	c.w.bar.wait()
+}
+
 // To returns the packing buffer for the given peer in the current
 // communication phase, creating it on first use. Packing to oneself is
 // allowed and delivered locally.
@@ -179,11 +378,26 @@ func (c *Ctx) To(peer int) *Buffer {
 	return b
 }
 
+// deliver appends one payload to peer p's inbox.
+func (c *Ctx) deliver(p int, d delivery) {
+	ib := &c.w.inboxes[p]
+	ib.mu.Lock()
+	ib.msgs = append(ib.msgs, d)
+	ib.mu.Unlock()
+}
+
 // Exchange completes one sparse communication phase: every buffer
 // packed with To is delivered, and the messages sent to this rank by
 // its peers are returned, sorted by sending rank. All ranks must call
 // Exchange the same number of times (it is collective).
+//
+// Off-node payloads are framed with length, CRC32 and a per-pair
+// sequence number; a frame failing validation is still returned, but
+// its Reader surfaces a structured *CorruptError (wrapping
+// ErrCorruptMessage) on first use instead of decoding garbage.
 func (c *Ctx) Exchange() []Message {
+	c.beginOp("exchange", true)
+	defer c.endOp()
 	// Deliver in sorted peer order for determinism.
 	peers := make([]int, 0, len(c.out))
 	for p := range c.out {
@@ -201,43 +415,110 @@ func (c *Ctx) Exchange() []Message {
 			// Shared memory: hand the buffer over by reference.
 			c.w.onMsgs.Add(1)
 			c.w.onBytes.Add(int64(len(data)))
-		} else {
-			// Distributed memory: the payload crosses the network,
-			// so it is copied, like an NIC transfer.
-			c.w.offMsgs.Add(1)
-			c.w.offBytes.Add(int64(len(data)))
-			cp := make([]byte, len(data))
-			copy(cp, data)
-			data = cp
+			c.deliver(p, delivery{from: c.rank, data: data})
+			continue
 		}
-		ib := &c.w.inboxes[p]
-		ib.mu.Lock()
-		ib.msgs = append(ib.msgs, Message{From: c.rank, Data: NewReader(data)})
-		ib.mu.Unlock()
+		// Distributed memory: the payload crosses the network, so it is
+		// copied, like an NIC transfer, and framed for validation.
+		c.w.offMsgs.Add(1)
+		c.w.offBytes.Add(int64(len(data)))
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		if c.sendSeq == nil {
+			c.sendSeq = make(map[int]int64)
+		}
+		c.sendSeq[p]++
+		d := delivery{
+			from:    c.rank,
+			data:    cp,
+			framed:  true,
+			wantLen: len(cp),
+			crc:     crc32.ChecksumIEEE(cp),
+			seq:     c.sendSeq[p],
+		}
+		if f := c.pendingFault; f != nil {
+			switch f.Kind {
+			case FaultCorrupt:
+				if len(cp) > 0 {
+					cp[len(cp)/2] ^= 0x40 // wire corruption after framing
+				} else {
+					d.wantLen = 1 // nothing to flip; break the length instead
+				}
+			case FaultTruncate:
+				d.data = cp[:len(cp)/2]
+			case FaultDuplicate:
+				c.deliver(p, d) // replayed frame; the copy below is the dup
+			}
+		}
+		c.deliver(p, d)
 	}
 	c.out = nil
-	c.w.bar.wait()
+	c.pendingFault = nil
+	c.wait()
 	ib := &c.w.inboxes[c.rank]
 	ib.mu.Lock()
-	mine := ib.msgs
+	arrived := ib.msgs
 	ib.msgs = nil
 	ib.mu.Unlock()
-	sort.Slice(mine, func(i, j int) bool { return mine[i].From < mine[j].From })
+	// Stable sort: frames from one sender keep their send order, which
+	// the duplicate-detection sequence check depends on.
+	sort.SliceStable(arrived, func(i, j int) bool { return arrived[i].from < arrived[j].from })
+	mine := make([]Message, len(arrived))
+	for i, d := range arrived {
+		mine[i] = c.accept(d)
+	}
 	// Second barrier: no rank may start delivering the next phase while
 	// another rank has not yet collected this phase's inbox.
-	c.w.bar.wait()
+	c.wait()
 	return mine
+}
+
+// accept validates one delivery's frame. A frame that fails length, CRC
+// or sequence validation yields a Message whose Reader fails with a
+// *CorruptError on first decode, so corruption can never be silently
+// skipped.
+func (c *Ctx) accept(d delivery) Message {
+	if !d.framed {
+		return Message{From: d.from, Data: NewReader(d.data)}
+	}
+	if c.recvSeq == nil {
+		c.recvSeq = make(map[int]int64)
+	}
+	corrupt := func(reason string) Message {
+		return Message{From: d.from, Data: failedReader(&CorruptError{
+			From: d.from, To: c.rank, Reason: reason,
+		})}
+	}
+	want := c.recvSeq[d.from] + 1
+	switch {
+	case d.seq < want:
+		// Replayed frame: already delivered; do not advance the cursor.
+		return corrupt(fmt.Sprintf("duplicated frame: seq %d delivered twice", d.seq))
+	case d.seq > want:
+		c.recvSeq[d.from] = d.seq
+		return corrupt(fmt.Sprintf("lost frame: expected seq %d, got %d", want, d.seq))
+	}
+	c.recvSeq[d.from] = d.seq
+	if len(d.data) != d.wantLen {
+		return corrupt(fmt.Sprintf("truncated frame: length %d, frame header says %d", len(d.data), d.wantLen))
+	}
+	if crc32.ChecksumIEEE(d.data) != d.crc {
+		return corrupt("CRC mismatch")
+	}
+	return Message{From: d.from, Data: NewReader(d.data)}
 }
 
 // Barrier blocks until all ranks have called it.
 func (c *Ctx) Barrier() {
-	c.w.colls.Add(1)
-	c.w.bar.wait()
+	c.collStart("barrier")
+	defer c.endOp()
+	c.wait()
 }
 
-// barrier is a reusable sense-counting barrier. poison releases all
-// current and future waiters by panicking them with ErrPeerFailed,
-// preventing deadlock when a rank dies.
+// barrier is a reusable sense-counting barrier. Poisoning releases all
+// current and future waiters by panicking them with the teardown cause
+// (ErrPeerFailed when a rank dies, a *StallError when the watchdog
+// fires), preventing deadlock when a rank cannot arrive.
 type barrier struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -245,6 +526,7 @@ type barrier struct {
 	count    int
 	gen      int
 	poisoned bool
+	cause    error
 }
 
 func (b *barrier) init(n int) {
@@ -255,8 +537,9 @@ func (b *barrier) init(n int) {
 func (b *barrier) wait() {
 	b.mu.Lock()
 	if b.poisoned {
+		cause := b.cause
 		b.mu.Unlock()
-		panic(ErrPeerFailed)
+		panic(cause)
 	}
 	gen := b.gen
 	b.count++
@@ -270,16 +553,44 @@ func (b *barrier) wait() {
 	for gen == b.gen && !b.poisoned {
 		b.cond.Wait()
 	}
-	poisoned := b.poisoned
+	poisoned, cause := b.poisoned, b.cause
 	b.mu.Unlock()
 	if poisoned {
-		panic(ErrPeerFailed)
+		panic(cause)
 	}
 }
 
-func (b *barrier) poison() {
+func (b *barrier) poison() { b.poisonWith(ErrPeerFailed) }
+
+// poisonWith poisons the barrier with the given cause; the first cause
+// wins and later poisonings keep it.
+func (b *barrier) poisonWith(cause error) {
 	b.mu.Lock()
-	b.poisoned = true
+	if !b.poisoned {
+		b.poisoned = true
+		b.cause = cause
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
+}
+
+func (b *barrier) isPoisoned() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.poisoned
+}
+
+// causeErr returns the teardown cause, or nil if the barrier is healthy.
+func (b *barrier) causeErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cause
+}
+
+// state returns how many ranks are parked in the current generation and
+// the generation number; the watchdog uses both to detect stuck runs.
+func (b *barrier) state() (count, gen int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count, b.gen
 }
