@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race vet pumi-vet chaos check
+.PHONY: all build test bench race vet pumi-vet chaos san-smoke check
 
 all: build
 
@@ -28,5 +28,12 @@ pumi-vet:
 chaos:
 	$(GO) test -race -count=1 -run 'TestSoak' ./internal/chaos/
 
+# pumi-san smoke: the faulted balancing stack under the runtime
+# sanitizer with the race detector on — collective schedules
+# cross-checked at every sync point, mesh writes checked for ownership
+# (see DESIGN.md §8).
+san-smoke:
+	$(GO) test -race -count=1 -run 'TestSoakSanitized|TestSanitized' ./internal/chaos/ ./internal/partition/
+
 # The full local gate: what CI runs.
-check: vet pumi-vet build test race chaos
+check: vet pumi-vet build test race chaos san-smoke

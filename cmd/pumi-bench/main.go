@@ -21,6 +21,8 @@ import (
 	"github.com/fastmath/pumi-go/internal/chaos"
 	"github.com/fastmath/pumi-go/internal/cmdutil"
 	"github.com/fastmath/pumi-go/internal/experiments"
+	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/san"
 )
 
 func main() {
@@ -33,11 +35,17 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts parallel runs with a structured error")
 	chaosSeeds := flag.String("chaos", "", "comma-separated seeds: run the fault-injection soak instead of experiments")
 	chaosDir := flag.String("chaos-dir", "", "checkpoint directory for -chaos (default a temp dir)")
+	sanitize := flag.Bool("san", false, "run everything under pumi-san: cross-check collective schedules across ranks, enforce owner-only mesh writes, and print the op-sequence hash at exit")
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
+	if *sanitize {
+		san.Enable()
+		pcu.SetDefaultSanitize(true)
+	}
 
 	if *chaosSeeds != "" {
-		runChaos(*chaosSeeds, *chaosDir)
+		runChaos(*chaosSeeds, *chaosDir, *sanitize)
+		sanReport(*sanitize)
 		return
 	}
 
@@ -147,14 +155,27 @@ func main() {
 		}
 		fmt.Print(experiments.FormatLocalSplit(res))
 	}
+	sanReport(*sanitize)
 	os.Exit(0)
+}
+
+// sanReport prints the pumi-san ledger when -san was given: the number
+// of clean sanitized runs this process completed and the cumulative
+// op-sequence hash. Two identically-seeded invocations must print the
+// same hash — a cheap determinism check for any experiment.
+func sanReport(on bool) {
+	if !on {
+		return
+	}
+	runs, hash := pcu.SanSummary()
+	fmt.Printf("pumi-san: %d sanitized run(s), op-sequence hash %#016x\n", runs, hash)
 }
 
 // runChaos drives one fault-injection soak per seed: a balancing run
 // under the seed's fault plan that must end cleanly or with a
 // structured failure, followed by a checkpoint restart when one was
 // committed. Any unclassifiable outcome fails the command.
-func runChaos(seeds, dir string) {
+func runChaos(seeds, dir string, sanitize bool) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "pumi-chaos-*")
 		if err != nil {
@@ -176,6 +197,7 @@ func runChaos(seeds, dir string) {
 			Seed:         seed,
 			Dir:          ckdir,
 			StallTimeout: 30 * time.Second,
+			Sanitize:     sanitize,
 		})
 		if err != nil {
 			cmdutil.Fail(err)

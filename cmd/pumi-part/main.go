@@ -15,8 +15,13 @@ import (
 	"time"
 
 	"github.com/fastmath/pumi-go/internal/cmdutil"
+	"github.com/fastmath/pumi-go/internal/ds"
 	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/mesh"
 	"github.com/fastmath/pumi-go/internal/meshio"
+	"github.com/fastmath/pumi-go/internal/partition"
+	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/san"
 	"github.com/fastmath/pumi-go/internal/zpart"
 )
 
@@ -28,6 +33,7 @@ func main() {
 	method := flag.String("method", "rcb", "partitioner: rcb | rib | graph | hypergraph")
 	out := flag.String("o", "", "output assignment file (optional)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts the run")
+	sanitize := flag.Bool("san", false, "after partitioning, distribute the assignment across in-process ranks and verify the distributed mesh under pumi-san")
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
 	if *meshFile == "" {
@@ -92,6 +98,50 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+
+	if *sanitize {
+		// Last, because the migration consumes the serial mesh.
+		if err := sanVerify(m, model, assign, *parts); err != nil {
+			cmdutil.Fail(err)
+		}
+		runs, hash := pcu.SanSummary()
+		fmt.Printf("pumi-san: distributed verify clean (%d run(s), op-sequence hash %#016x)\n", runs, hash)
+	}
+}
+
+// sanVerify replays the element assignment as a real migration: one
+// in-process rank per part adopts the serial mesh, migrates every
+// element to its assigned part, and runs the distributed-mesh verifier
+// — all under pumi-san, so the migration protocol's collective schedule
+// is cross-checked rank-against-rank and every mesh write is checked
+// for ownership. Element index i is the i-th element of m.Elements(),
+// the canonical order shared by all the partitioners' inputs.
+func sanVerify(m *mesh.Mesh, model *gmi.Model, assign []int32, parts int) error {
+	els := ds.Collect(m.Elements())
+	if len(els) != len(assign) {
+		return fmt.Errorf("assignment covers %d elements, mesh has %d", len(assign), len(els))
+	}
+	san.Enable()
+	defer san.Disable()
+	_, err := pcu.RunOpt(parts, pcu.Options{Sanitize: true}, func(ctx *pcu.Ctx) error {
+		var serial *mesh.Mesh
+		if ctx.Rank() == 0 {
+			serial = m
+		}
+		dm := partition.Adopt(ctx, model, m.Dim(), serial, 1)
+		var amap map[mesh.Ent]int32
+		if ctx.Rank() == 0 {
+			amap = make(map[mesh.Ent]int32, len(els))
+			for i, el := range els {
+				amap[el] = assign[i]
+			}
+		}
+		if err := partition.TryMigrate(dm, partition.PlansFromAssignment(dm, amap)); err != nil {
+			return err
+		}
+		return partition.Verify(dm)
+	})
+	return err
 }
 
 func cmdutilModel(spec string) *gmi.Model {

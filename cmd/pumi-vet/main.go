@@ -7,10 +7,22 @@
 // Exit status is 0 when the tree is clean, 1 when any analyzer fired,
 // 2 on usage or load errors. See internal/lint for the analyzers:
 //
-//	ctxescape     *pcu.Ctx escaping its goroutine
-//	collmismatch  collectives under rank-dependent branches
+//	ctxescape     *pcu.Ctx escaping its goroutine (directly or via helpers)
+//	collmismatch  collectives under rank-dependent branches, however
+//	              many calls deep the collective hides
 //	bufdiscipline stale phase buffers / unchecked message readers
 //	enthandle     cross-part entity-handle comparisons
+//	maporder      map iteration order flowing into sends/reductions
+//	phaseorder    begin/to/exchange ordering of phased exchanges
+//
+// The analyzers are interprocedural: a pre-pass builds a callgraph with
+// per-function summaries (reaches a collective? leaks its Ctx
+// parameter? contributes sends?), so wrapping a violation in helper
+// functions does not hide it.
+//
+// `-json` switches the report to NDJSON, one object per finding on
+// stdout ({"file","line","col","analyzer","message"}), for editors and
+// CI; the human format stays the default.
 //
 // Code that violates an invariant on purpose — the deadlock-diagnosis
 // tests skip collectives on some ranks to prove the watchdog catches
@@ -36,6 +48,7 @@ func main() {
 		list    = flag.Bool("list", false, "list analyzers and exit")
 		only    = flag.String("analyzers", "", "comma-separated subset of analyzers to run")
 		noTests = flag.Bool("notests", false, "skip _test.go files")
+		jsonOut = flag.Bool("json", false, "emit NDJSON (one JSON object per finding) instead of the human format")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pumi-vet [flags] [packages]\n\n"+
@@ -86,7 +99,11 @@ func main() {
 
 	diags := lint.Run(pkgs, analyzers)
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonOut {
+			fmt.Println(d.JSON())
+		} else {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		cmdutil.Failf("%d finding(s)", len(diags))

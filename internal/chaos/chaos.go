@@ -21,6 +21,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/parma"
 	"github.com/fastmath/pumi-go/internal/partition"
 	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/san"
 )
 
 // Config parameterizes one soak run.
@@ -47,6 +48,10 @@ type Config struct {
 	Dir string
 	// StallTimeout arms the collective watchdog. Default 30s.
 	StallTimeout time.Duration
+	// Sanitize runs both attempts under pumi-san: the collective
+	// schedule is cross-checked at every sync point and mesh writes go
+	// through the ownership guard.
+	Sanitize bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -120,10 +125,15 @@ func Soak(cfg Config) (Outcome, error) {
 	logf(cfg, "chaos: %s\n", plan)
 
 	finalImb := make([]float64, cfg.Ranks)
+	if cfg.Sanitize {
+		san.Enable()
+		defer san.Disable()
+	}
 	_, err := pcu.RunOpt(cfg.Ranks, pcu.Options{
 		Topo:         topo,
 		Faults:       plan,
 		StallTimeout: cfg.StallTimeout,
+		Sanitize:     cfg.Sanitize,
 	}, func(ctx *pcu.Ctx) error {
 		dm, err := buildUnbalanced(ctx, cfg)
 		if err != nil {
@@ -160,6 +170,7 @@ func Soak(cfg Config) (Outcome, error) {
 	_, err = pcu.RunOpt(cfg.Ranks, pcu.Options{
 		Topo:         topo,
 		StallTimeout: cfg.StallTimeout,
+		Sanitize:     cfg.Sanitize,
 	}, func(ctx *pcu.Ctx) error {
 		model := gmi.Box(4, 1, 1)
 		dm, curs, err := meshio.LoadCheckpoint(cfg.Dir, ctx, model.Model)
@@ -253,6 +264,10 @@ func classifyFailure(err error) string {
 		return "corrupt"
 	case errors.Is(err, pcu.ErrPeerFailed):
 		return "peer"
+	case errors.Is(err, san.ErrDivergence):
+		return "san-divergence"
+	case errors.Is(err, san.ErrOwnership):
+		return "san-ownership"
 	}
 	return ""
 }

@@ -46,6 +46,33 @@ func TestSoakFixedSeeds(t *testing.T) {
 	}
 }
 
+// TestSoakSanitized is the pumi-san smoke: the whole faulted balancing
+// stack — setup migration, ParMA iterations, checkpoint restore — runs
+// under the sanitizer. A clean seed must stay clean (no false
+// divergence or ownership findings from the real protocols), and a
+// faulted seed must still classify structurally.
+func TestSoakSanitized(t *testing.T) {
+	seeds := []int64{1, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		out, err := Soak(Config{
+			Seed:         seed,
+			Dir:          t.TempDir(),
+			StallTimeout: 20 * time.Second,
+			Sanitize:     true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: sanitized harness failure: %v", seed, err)
+		}
+		t.Logf("%s", out)
+		if out.Restarted && !out.Restored {
+			t.Fatalf("seed %d: sanitized restart did not complete: %+v", seed, out)
+		}
+	}
+}
+
 // TestSoakDeterministic reruns one seed and demands the same fault
 // plan and the same classified failure — the reproducibility contract
 // that makes chaos failures debuggable. Error text is compared too,

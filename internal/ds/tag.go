@@ -54,6 +54,10 @@ type TagTable[K comparable] struct {
 	tags   []*Tag
 	byName map[string]*Tag
 	data   []map[K]any // indexed by tag id
+
+	// OnSet, when non-nil, observes every tag write before it lands.
+	// The mesh layer hooks pumi-san's owner-only write checking here.
+	OnSet func(K)
 }
 
 // NewTagTable returns an empty tag table.
@@ -139,7 +143,12 @@ func (t *TagTable[K]) CountTagged(tag *Tag) int {
 	return 0
 }
 
-func (t *TagTable[K]) set(tag *Tag, key K, v any) { t.data[tag.id][key] = v }
+func (t *TagTable[K]) set(tag *Tag, key K, v any) {
+	if t.OnSet != nil {
+		t.OnSet(key)
+	}
+	t.data[tag.id][key] = v
+}
 
 func (t *TagTable[K]) get(tag *Tag, key K) (any, bool) {
 	m := t.data[tag.id]

@@ -70,9 +70,9 @@ type readerState struct {
 }
 
 func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
-	var exchanges []token.Pos          // positions of Exchange()/exchange() calls
+	var exchanges []token.Pos               // positions of Exchange()/exchange() calls
 	bufDefs := map[types.Object]token.Pos{} // buffer var -> creation pos
-	readers := map[any]*readerState{}  // reader key -> state
+	readers := map[any]*readerState{}       // reader key -> state
 	type bufWrite struct {
 		obj types.Object
 		pos token.Pos

@@ -131,10 +131,18 @@ func (w *collWalker) walk(n ast.Node, guard token.Pos) {
 		return
 	case *ast.CallExpr:
 		if guard.IsValid() {
-			if fn := calleeFunc(w.p.Info, n); fn != nil && w.p.Facts.IsCollective(fn) {
-				w.p.Reportf(n.Pos(),
-					"collective %s called under a rank-dependent branch (guard at %s); every rank must enter every collective",
-					fn.Name(), w.p.Fset.Position(guard))
+			if fn := calleeFunc(w.p.Info, n); fn != nil {
+				if chain, ok := w.p.Facts.CollectiveWitness(fn); ok {
+					if chain == nil {
+						w.p.Reportf(n.Pos(),
+							"collective %s called under a rank-dependent branch (guard at %s); every rank must enter every collective",
+							fn.Name(), w.p.Fset.Position(guard))
+					} else {
+						w.p.Reportf(n.Pos(),
+							"collective reached through %s under a rank-dependent branch (guard at %s); every rank must enter every collective",
+							witnessChain(fn, chain), w.p.Fset.Position(guard))
+					}
+				}
 			}
 		}
 		w.walkExpr(n.Fun, guard)

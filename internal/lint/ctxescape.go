@@ -19,10 +19,24 @@ var CtxEscape = &Analyzer{
 
 func runCtxEscape(p *Pass) {
 	for _, file := range p.Files {
+		// Calls that are the operand of a `go` statement are handled by
+		// checkGoStmt; the interprocedural call check skips them so a
+		// `go helper(ctx)` is reported once, not twice.
+		goCalls := map[*ast.CallExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goCalls[g.Call] = true
+			}
+			return true
+		})
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				checkGoStmt(p, n)
+			case *ast.CallExpr:
+				if !goCalls[n] {
+					checkCallLeaks(p, n)
+				}
 			case *ast.SendStmt:
 				if isCtxPtr(p.TypeOf(n.Value)) {
 					p.Reportf(n.Value.Pos(),
@@ -55,6 +69,67 @@ func runCtxEscape(p *Pass) {
 	}
 }
 
+// checkCallLeaks applies the interprocedural summaries at an ordinary
+// call site: a Ctx argument bound to a parameter the callee leaks to
+// another goroutine (directly or through its own callees) escapes just
+// as surely as a direct `go` statement, and so does a Ctx captured by a
+// function literal handed to a parameter the callee runs asynchronously.
+func checkCallLeaks(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return
+	}
+	for ai, arg := range call.Args {
+		pi := calleeParamIndex(fn, ai)
+		if pi < 0 {
+			continue
+		}
+		if isCtxPtr(p.TypeOf(arg)) {
+			if how, ok := p.Facts.LeakedCtxParam(fn, pi); ok {
+				p.Reportf(arg.Pos(),
+					"*pcu.Ctx passed to %s, which %s; a Ctx is confined to the goroutine it was handed to",
+					fn.Name(), how)
+			}
+			continue
+		}
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			how, ok := p.Facts.AsyncParam(fn, pi)
+			if !ok {
+				continue
+			}
+			for _, id := range ctxCaptures(p, lit) {
+				p.Reportf(id.Pos(),
+					"*pcu.Ctx %q captured by a function literal passed to %s, which %s; a Ctx is confined to the goroutine it was handed to",
+					id.Name, fn.Name(), how)
+			}
+		}
+	}
+}
+
+// ctxCaptures returns the identifiers inside lit that are free-variable
+// uses of a *pcu.Ctx declared outside the literal.
+func ctxCaptures(p *Pass, lit *ast.FuncLit) []*ast.Ident {
+	var ids []*ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		// Fields are reached through the struct value, not captured on
+		// their own; their declaration position lies in another scope
+		// entirely, so the extent test below would misread them.
+		if !ok || obj.IsField() || !isCtxPtr(obj.Type()) {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	return ids
+}
+
 // checkGoStmt flags a Ctx that crosses into a spawned goroutine, either
 // as a call argument or as a free variable of a function literal.
 func checkGoStmt(p *Pass, g *ast.GoStmt) {
@@ -74,7 +149,7 @@ func checkGoStmt(p *Pass, g *ast.GoStmt) {
 			return true
 		}
 		obj, ok := p.Info.Uses[id].(*types.Var)
-		if !ok || !isCtxPtr(obj.Type()) {
+		if !ok || obj.IsField() || !isCtxPtr(obj.Type()) {
 			return true
 		}
 		// Free variable: declared outside the literal's extent.

@@ -12,6 +12,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -33,6 +34,24 @@ type Diagnostic struct {
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// JSON renders the diagnostic as one NDJSON object — the `pumi-vet
+// -json` machine interface, one object per line, keyed for editor and
+// CI consumers.
+func (d Diagnostic) JSON() string {
+	b, err := json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+	if err != nil {
+		// A flat struct of strings and ints cannot fail to marshal.
+		panic(err)
+	}
+	return string(b)
 }
 
 // Package is one loaded, type-checked package.
@@ -75,7 +94,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // Analyzers returns pumi-vet's analyzers in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxEscape, CollMismatch, BufDiscipline, EntHandle}
+	return []*Analyzer{CtxEscape, CollMismatch, BufDiscipline, EntHandle, MapOrder, PhaseOrder}
 }
 
 // Facts is cross-package knowledge gathered in a pre-pass over every
@@ -85,6 +104,10 @@ type Facts struct {
 	// comment mentions "collective" — keyed by funcKey. The pcu
 	// built-in collectives are seeded unconditionally.
 	collective map[funcKey]bool
+	// graph holds the interprocedural callgraph and per-function
+	// summaries (see summary.go); analyzers query it through the
+	// witness methods rather than touching nodes directly.
+	graph *callGraph
 }
 
 // funcKey names a function or method: package path, receiver type name
@@ -131,6 +154,7 @@ func gatherFacts(pkgs []*Package) *Facts {
 			}
 		}
 	}
+	f.graph = buildCallGraph(pkgs, f)
 	return f
 }
 
@@ -153,28 +177,6 @@ func recvTypeName(t ast.Expr) string {
 		return recvTypeName(t.X)
 	}
 	return ""
-}
-
-// IsCollective reports whether the called function is a collective:
-// either a seeded pcu built-in or any function whose doc comment
-// declares it collective.
-func (f *Facts) IsCollective(fn *types.Func) bool {
-	if fn == nil || fn.Pkg() == nil {
-		return false
-	}
-	pkg := fn.Pkg().Path()
-	if pathHasSuffix(pkg, pcuPkg) {
-		for _, name := range builtinCollectives {
-			if fn.Name() == name {
-				return true
-			}
-		}
-	}
-	recv := ""
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		recv = namedName(sig.Recv().Type())
-	}
-	return f.collective[funcKey{pkg, recv, fn.Name()}]
 }
 
 // ignoreKey addresses one source line for directive suppression.

@@ -1,14 +1,21 @@
 package lint
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 // sharedLoader caches one loader (and its source-importer cache) across
 // fixture tests; importing pcu/mesh from source once is the dominant
-// cost.
-var sharedLoader *Loader
+// cost. fixtureCache additionally shares each compiled fixture package
+// across tests, so a fixture dir is parsed and type-checked exactly
+// once however many analyzers (or the golden test) visit it.
+var (
+	sharedLoader *Loader
+	fixtureCache = map[string][]*Package{}
+)
 
 func fixtureLoader(t *testing.T) *Loader {
 	t.Helper()
@@ -22,27 +29,36 @@ func fixtureLoader(t *testing.T) *Loader {
 	return sharedLoader
 }
 
-// testAnalyzer runs one analyzer over its fixture package and matches
-// diagnostics against the `// want "..."` comments. Each fixture holds
-// a positive file (bad.go, with expectations) and a negative file
-// (ok.go, with none); unexpected diagnostics fail the test.
-func testAnalyzer(t *testing.T, a *Analyzer) {
-	l := fixtureLoader(t)
-	dir := filepath.Join("testdata", "src", a.Name)
-	pkgs, err := l.Load(".", dir)
+func fixturePkgs(t *testing.T, name string) []*Package {
+	t.Helper()
+	if pkgs, ok := fixtureCache[name]; ok {
+		return pkgs
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkgs, err := fixtureLoader(t).Load(".", dir)
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
 	if len(pkgs) != 1 {
 		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
 	}
+	fixtureCache[name] = pkgs
+	return pkgs
+}
+
+// testAnalyzer runs one analyzer over its fixture package and matches
+// diagnostics against the `// want "..."` comments. Each fixture holds
+// a positive file (bad.go, with expectations) and a negative file
+// (ok.go, with none); unexpected diagnostics fail the test.
+func testAnalyzer(t *testing.T, a *Analyzer) {
+	pkgs := fixturePkgs(t, a.Name)
 	diags := Run(pkgs, []*Analyzer{a})
 	expects, err := ParseExpectations(pkgs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(expects) == 0 {
-		t.Fatalf("fixture %s has no want-comments", dir)
+		t.Fatalf("fixture %s has no want-comments", a.Name)
 	}
 	for _, fail := range CheckExpectations(expects, diags) {
 		t.Error(fail)
@@ -53,10 +69,12 @@ func TestCtxEscape(t *testing.T)     { testAnalyzer(t, CtxEscape) }
 func TestCollMismatch(t *testing.T)  { testAnalyzer(t, CollMismatch) }
 func TestBufDiscipline(t *testing.T) { testAnalyzer(t, BufDiscipline) }
 func TestEntHandle(t *testing.T)     { testAnalyzer(t, EntHandle) }
+func TestMapOrder(t *testing.T)      { testAnalyzer(t, MapOrder) }
+func TestPhaseOrder(t *testing.T)    { testAnalyzer(t, PhaseOrder) }
 
 // TestAnalyzerListStable pins the analyzer set wired into pumi-vet.
 func TestAnalyzerListStable(t *testing.T) {
-	want := []string{"ctxescape", "collmismatch", "bufdiscipline", "enthandle"}
+	want := []string{"ctxescape", "collmismatch", "bufdiscipline", "enthandle", "maporder", "phaseorder"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
@@ -67,6 +85,50 @@ func TestAnalyzerListStable(t *testing.T) {
 		}
 		if a.Doc == "" {
 			t.Errorf("analyzer %s lacks a doc string", a.Name)
+		}
+	}
+}
+
+// TestGoldenOutput pins the complete pumi-vet output — every analyzer
+// over every fixture package, in both the human and the NDJSON format —
+// against checked-in golden files. The per-analyzer tests check each
+// analyzer against its own fixtures; this one locks cross-analyzer
+// behavior (what the full set reports on each fixture, ignore
+// directives included) and the exact rendering of both formats. Rerun
+// with UPDATE_GOLDEN=1 to regenerate after intentional changes.
+func TestGoldenOutput(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var human, ndjson strings.Builder
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		diags := Run(fixturePkgs(t, e.Name()), Analyzers())
+		for _, d := range diags {
+			human.WriteString(d.String() + "\n")
+			ndjson.WriteString(d.JSON() + "\n")
+		}
+	}
+	for _, g := range []struct{ file, got string }{
+		{filepath.Join("testdata", "golden.txt"), human.String()},
+		{filepath.Join("testdata", "golden.ndjson"), ndjson.String()},
+	} {
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(g.file, []byte(g.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(g.file)
+		if err != nil {
+			t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+		}
+		if g.got != string(want) {
+			t.Errorf("%s out of date (UPDATE_GOLDEN=1 regenerates):\n--- want ---\n%s--- got ---\n%s",
+				g.file, want, g.got)
 		}
 	}
 }

@@ -39,3 +39,18 @@ func badElse(c *pcu.Ctx) {
 		c.Barrier() // want `collective Barrier`
 	}
 }
+
+// helperDeep's barrier hides two calls deep behind plain helpers; the
+// interprocedural summaries surface it at the guarded call site with
+// the witness chain down to the operation. (The helpers are carefully
+// left without the doc marker word, so only the callgraph sees them.)
+
+func helperDeep(c *pcu.Ctx) { c.Barrier() }
+
+func helperMid(c *pcu.Ctx) { helperDeep(c) }
+
+func badHiddenCollective(c *pcu.Ctx) {
+	if c.Rank() == 0 {
+		helperMid(c) // want `collective reached through helperMid -> helperDeep -> Ctx\.Barrier under a rank-dependent branch`
+	}
+}

@@ -57,3 +57,13 @@ func okGuardedPacking(c *pcu.Ctx) {
 		}
 	}
 }
+
+func okBothBranchesViaHelpers(c *pcu.Ctx) {
+	// The root-vs-rest exemption sees through helpers too: both
+	// branches transitively reach a collective.
+	if c.Rank() == 0 {
+		helperMid(c)
+	} else {
+		helperDeep(c)
+	}
+}

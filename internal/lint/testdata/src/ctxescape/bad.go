@@ -23,3 +23,37 @@ func badGlobal(c *pcu.Ctx) {
 func badChannel(c *pcu.Ctx, ch chan *pcu.Ctx) {
 	ch <- c // want `sent on a channel`
 }
+
+// Interprocedural leaks: a helper that hands its Ctx parameter to
+// another goroutine leaks every Ctx passed to it, however many calls
+// deep the spawn hides.
+func spawnHelper(c *pcu.Ctx, ch chan int) {
+	go worker(c) // want `passed to a goroutine`
+	ch <- 1
+}
+
+func forward(c *pcu.Ctx, ch chan int) {
+	spawnHelper(c, ch) // want `passed to spawnHelper, which passes it to a goroutine`
+}
+
+func badLeakViaHelper(c *pcu.Ctx, ch chan int) {
+	forward(c, ch) // want `passed to forward, which passes it to spawnHelper, which passes it to a goroutine`
+}
+
+// Interprocedural captures: a function-typed parameter the callee runs
+// on another goroutine makes a Ctx-capturing literal argument a leak.
+func runLater(f func()) { go f() }
+
+func runIndirect(f func()) { runLater(f) }
+
+func badCtxCapturePassed(c *pcu.Ctx) {
+	runLater(func() {
+		c.Barrier() // want `captured by a function literal passed to runLater, which starts it on a goroutine`
+	})
+}
+
+func badCtxCaptureDeep(c *pcu.Ctx) {
+	runIndirect(func() {
+		_ = c.Rank() // want `captured by a function literal passed to runIndirect, which passes it to runLater, which starts it on a goroutine`
+	})
+}

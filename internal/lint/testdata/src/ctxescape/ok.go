@@ -21,3 +21,18 @@ func okGoroutine(c *pcu.Ctx, done chan int) {
 		done <- n // captured the value, not the Ctx
 	}()
 }
+
+func useLocally(c *pcu.Ctx) int { return c.Rank() }
+
+func okHelperCall(c *pcu.Ctx) {
+	// Passing a Ctx to a helper that stays on this goroutine is the
+	// normal calling convention, not a leak.
+	_ = useLocally(c)
+}
+
+func okNoCaptureLiteral(c *pcu.Ctx, done chan int) {
+	// An async parameter is only a problem when the literal captures a
+	// Ctx; capturing plain values is fine.
+	n := c.Size()
+	runLater(func() { done <- n })
+}

@@ -1,0 +1,17 @@
+package maporder
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+func ignoredMapSend(c *pcu.Ctx, parts map[int]int32) {
+	//pumi-vet:ignore maporder
+	for q, v := range parts {
+		c.To(q).Int32(v)
+	}
+}
+
+func ignoredWrongAnalyzerStillFires(c *pcu.Ctx, parts map[int]int32) {
+	//pumi-vet:ignore phaseorder
+	for q, v := range parts { // want `map iteration order reaches communication`
+		c.To(q).Int32(v)
+	}
+}

@@ -1,0 +1,43 @@
+package maporder
+
+import (
+	"sort"
+
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+func okSortedSend(c *pcu.Ctx, parts map[int]int32) {
+	// The repo idiom: collect keys, sort, range the slice. The map
+	// range only gathers local state; communication runs in sorted
+	// order.
+	qs := make([]int, 0, len(parts))
+	for q := range parts {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	for _, q := range qs {
+		c.To(q).Int32(parts[q])
+	}
+	for _, m := range c.Exchange() {
+		for !m.Data.Empty() {
+			_ = m.Data.Int32()
+		}
+	}
+}
+
+func okLocalOnly(parts map[int]int) int {
+	// Pure local aggregation; order-independent.
+	sum := 0
+	for _, v := range parts {
+		sum += v
+	}
+	return sum
+}
+
+func okCollectiveAfterRange(c *pcu.Ctx, parts map[int]int) {
+	n := int64(0)
+	for _, v := range parts {
+		n += int64(v)
+	}
+	_ = pcu.SumInt64(c, n)
+}

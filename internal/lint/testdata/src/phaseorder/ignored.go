@@ -1,0 +1,13 @@
+package phaseorder
+
+func ignoredNeverExchanged() {
+	//pumi-vet:ignore phaseorder
+	ph := beginPhase()
+	ph.to(0).Int32(1)
+}
+
+func ignoredWrongAnalyzerStillFires() {
+	//pumi-vet:ignore maporder
+	ph := beginPhase() // want `packed sends but never ran exchange`
+	ph.to(0).Int32(1)
+}

@@ -84,6 +84,9 @@ type Mesh struct {
 	// module creates or destroys entities.
 	onCreate  []func(Ent)
 	onDestroy []func(Ent)
+
+	// guard, when non-nil, checks every mutation (pumi-san).
+	guard Guard
 }
 
 // New creates an empty mesh part of the given dimension (2 or 3)
@@ -105,6 +108,7 @@ func New(model *gmi.Model, dim int) *Mesh {
 	for t := range m.remotes {
 		m.remotes[t] = map[int32]map[int32]Ent{}
 	}
+	m.Tags.OnSet = func(e Ent) { m.guardWrite("tag", e) }
 	return m
 }
 
@@ -198,6 +202,7 @@ func (m *Mesh) CreateVertex(c gmi.Ref, p vec.V) Ent {
 	m.coords[idx] = p
 	m.td[Vertex].classif[idx] = c
 	e := Ent{T: Vertex, I: idx}
+	m.guardWrite("create", e)
 	m.notifyCreate(e)
 	return e
 }
@@ -235,6 +240,7 @@ func (m *Mesh) CreateEntity(t Type, c gmi.Ref, down []Ent) Ent {
 		dtd.firstUse[d.I] = use{e: e, slot: uint8(j)}
 	}
 	td.classif[idx] = c
+	m.guardWrite("create", e)
 	m.notifyCreate(e)
 	return e
 }
@@ -250,6 +256,7 @@ func (m *Mesh) Destroy(e Ent) {
 	if td.firstUse[e.I].e.Ok() {
 		panic(fmt.Sprintf("mesh: destroying %v which still bounds other entities", e))
 	}
+	m.guardWrite("destroy", e)
 	for _, f := range m.onDestroy {
 		f(e)
 	}
@@ -329,6 +336,7 @@ func (m *Mesh) SetCoord(v Ent, p vec.V) {
 	if v.T != Vertex {
 		panic(fmt.Sprintf("mesh: SetCoord of non-vertex %v", v))
 	}
+	m.guardWrite("coord", v)
 	m.coords[v.I] = p
 }
 
@@ -336,13 +344,17 @@ func (m *Mesh) SetCoord(v Ent, p vec.V) {
 func (m *Mesh) Classification(e Ent) gmi.Ref { return m.td[e.T].classif[e.I] }
 
 // SetClassification reclassifies e.
-func (m *Mesh) SetClassification(e Ent, c gmi.Ref) { m.td[e.T].classif[e.I] = c }
+func (m *Mesh) SetClassification(e Ent, c gmi.Ref) {
+	m.guardWrite("classify", e)
+	m.td[e.T].classif[e.I] = c
+}
 
 // Flags returns e's flag byte.
 func (m *Mesh) Flags(e Ent) uint8 { return m.td[e.T].flags[e.I] }
 
 // SetFlag sets or clears one flag bit on e.
 func (m *Mesh) SetFlag(e Ent, flag uint8, on bool) {
+	m.guardWrite("flag", e)
 	if on {
 		m.td[e.T].flags[e.I] |= flag
 	} else {

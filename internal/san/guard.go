@@ -1,0 +1,86 @@
+package san
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OwnershipError reports an illegal mesh entity write: either a
+// non-owner mutating a shared/ghost entity (Kind "owner") or a second
+// goroutine mutating a goroutine-confined mesh (Kind "confinement").
+// GID is the writing goroutine; OwnerGID is the goroutine that owns the
+// mesh (first writer), so the offending pair is named in both kinds.
+type OwnershipError struct {
+	Kind          string // "owner" or "confinement"
+	Op            string // mutator that fired: "coord", "classify", "flag", "tag", ...
+	Ent           string // entity being written
+	GID, OwnerGID int64
+}
+
+func (e *OwnershipError) Error() string {
+	if e.Kind == "confinement" {
+		return fmt.Sprintf(
+			"pumi-san: mesh written by two goroutines: %s of %s on goroutine %d, but the mesh is confined to goroutine %d",
+			e.Op, e.Ent, e.GID, e.OwnerGID)
+	}
+	return fmt.Sprintf(
+		"pumi-san: non-owner write: %s of shared entity %s on goroutine %d (mesh goroutine %d); only the owning part may mutate a shared or ghost entity",
+		e.Op, e.Ent, e.GID, e.OwnerGID)
+}
+
+// Is makes errors.Is(err, ErrOwnership) match.
+func (e *OwnershipError) Is(target error) bool { return target == ErrOwnership }
+
+// MeshGuard is the per-mesh shadow state behind the owner-only write
+// check. It satisfies the mesh package's Guard interface structurally
+// (this package cannot import mesh: mesh imports pcu, pcu imports san).
+//
+// Confinement: the first guarded write pins the mesh to its goroutine;
+// any later write from a different goroutine panics with a
+// *OwnershipError naming both goroutine ids. Ownership: a write to a
+// shared or ghost entity this part does not own panics unless it
+// happens inside a Suspend window — the sanctioned exceptions are the
+// protocol steps that apply a remote owner's data (migration unpack and
+// restitch, owner-to-copy tag synchronization).
+type MeshGuard struct {
+	mu        sync.Mutex
+	ownerGID  int64
+	suspended int
+}
+
+// NewMeshGuard returns a guard not yet pinned to a goroutine.
+func NewMeshGuard() *MeshGuard { return &MeshGuard{} }
+
+// CheckWrite validates one mutation. op names the mutator, ent the
+// entity, and sharedNotOwned whether the entity is a shared or ghost
+// copy this part does not own (computed by the caller, which can see
+// the mesh). Violations panic with *OwnershipError.
+func (g *MeshGuard) CheckWrite(op string, ent fmt.Stringer, sharedNotOwned bool) {
+	gid := GoroutineID()
+	g.mu.Lock()
+	if g.ownerGID == 0 {
+		g.ownerGID = gid
+	}
+	owner, susp := g.ownerGID, g.suspended
+	g.mu.Unlock()
+	if gid != owner {
+		panic(&OwnershipError{Kind: "confinement", Op: op, Ent: ent.String(), GID: gid, OwnerGID: owner})
+	}
+	if sharedNotOwned && susp == 0 {
+		panic(&OwnershipError{Kind: "owner", Op: op, Ent: ent.String(), GID: gid, OwnerGID: owner})
+	}
+}
+
+// Suspend opens a window in which non-owner writes are sanctioned
+// (goroutine confinement stays enforced). It returns the resume
+// function; windows nest.
+func (g *MeshGuard) Suspend() func() {
+	g.mu.Lock()
+	g.suspended++
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		g.suspended--
+		g.mu.Unlock()
+	}
+}

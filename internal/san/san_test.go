@@ -1,0 +1,240 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestOpLogHashDeterministic(t *testing.T) {
+	mk := func() *OpLog {
+		l := NewOpLog()
+		l.Record("barrier", 0)
+		l.Record("exchange", 0xbeef)
+		l.Record("allreduce", 0)
+		return l
+	}
+	a, b := mk(), mk()
+	if a.Hash() != b.Hash() {
+		t.Fatalf("identical logs hash differently: %#x vs %#x", a.Hash(), b.Hash())
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	b.Record("barrier", 0)
+	if a.Hash() == b.Hash() {
+		t.Fatal("extended log kept the same hash")
+	}
+}
+
+func TestOpLogHashSensitive(t *testing.T) {
+	a, b := NewOpLog(), NewOpLog()
+	a.Record("barrier", 0)
+	b.Record("allreduce", 0)
+	if a.Hash() == b.Hash() {
+		t.Fatal("different ops hash equal")
+	}
+	// Detail participates in the trace hash but not the schedule
+	// hash: exchange payload shapes legitimately differ per rank.
+	c, d := NewOpLog(), NewOpLog()
+	c.Record("exchange", 1)
+	d.Record("exchange", 2)
+	if c.Hash() == d.Hash() {
+		t.Fatal("different details hash equal")
+	}
+	if c.SchedHash() != d.SchedHash() {
+		t.Fatal("schedule hash leaked the payload detail")
+	}
+	if a.SchedHash() == b.SchedHash() {
+		t.Fatal("different op names share a schedule hash")
+	}
+}
+
+func TestFirstMismatch(t *testing.T) {
+	a, b := NewOpLog(), NewOpLog()
+	for _, op := range []string{"barrier", "allreduce", "exchange"} {
+		a.Record(op, 0)
+		b.Record(op, 0)
+	}
+	if i := FirstMismatch(a, b); i != -1 {
+		t.Fatalf("equal logs mismatch at %d", i)
+	}
+	a.Record("barrier", 0)
+	b.Record("bcast", 0)
+	if i := FirstMismatch(a, b); i != 3 {
+		t.Fatalf("mismatch at %d, want 3", i)
+	}
+	// A strict prefix is not a mismatch (the shorter rank simply has
+	// not reached the op yet).
+	c := NewOpLog()
+	c.Record("barrier", 0)
+	if i := FirstMismatch(a, c); i != -1 {
+		t.Fatalf("prefix mismatch at %d, want -1", i)
+	}
+}
+
+func TestDivergenceErrorIs(t *testing.T) {
+	err := error(&DivergenceError{Rank: 0, Peer: 1, Index: 3, Op: "barrier", PeerOp: "allreduce"})
+	if !errors.Is(err, ErrDivergence) {
+		t.Fatal("DivergenceError does not match ErrDivergence")
+	}
+	want := "pumi-san: collective op sequence diverged at op 3: rank 0 entered barrier, rank 1 entered allreduce"
+	if err.Error() != want {
+		t.Fatalf("message %q, want %q", err.Error(), want)
+	}
+}
+
+func TestGoroutineID(t *testing.T) {
+	if GoroutineID() == 0 {
+		t.Fatal("GoroutineID returned 0 for a live goroutine")
+	}
+	mine := GoroutineID()
+	if again := GoroutineID(); again != mine {
+		t.Fatalf("id not stable: %d then %d", mine, again)
+	}
+	ch := make(chan int64)
+	go func() { ch <- GoroutineID() }()
+	if other := <-ch; other == mine {
+		t.Fatalf("two goroutines share id %d", mine)
+	}
+}
+
+type fakeEnt string
+
+func (e fakeEnt) String() string { return string(e) }
+
+// checkOwnership runs f, which must panic with an *OwnershipError of
+// the given kind, and returns the error.
+func checkOwnership(t *testing.T, kind string, f func()) (err *OwnershipError) {
+	t.Helper()
+	func() {
+		defer func() {
+			err, _ = recover().(*OwnershipError)
+		}()
+		f()
+	}()
+	if err == nil {
+		t.Fatalf("no *OwnershipError panic from %s write", kind)
+	}
+	if err.Kind != kind {
+		t.Fatalf("Kind = %q, want %q", err.Kind, kind)
+	}
+	if !errors.Is(err, ErrOwnership) {
+		t.Fatal("OwnershipError does not match ErrOwnership")
+	}
+	return err
+}
+
+func TestMeshGuardOwnerWrite(t *testing.T) {
+	g := NewMeshGuard()
+	g.CheckWrite("coord", fakeEnt("vtx 1"), false) // owned: fine
+	err := checkOwnership(t, "owner", func() {
+		g.CheckWrite("tag", fakeEnt("vtx 2"), true)
+	})
+	if err.Op != "tag" || err.Ent != "vtx 2" {
+		t.Fatalf("error names %s of %s", err.Op, err.Ent)
+	}
+	if err.GID == 0 || err.GID != err.OwnerGID {
+		t.Fatalf("offending pair %d/%d, want same live goroutine", err.GID, err.OwnerGID)
+	}
+}
+
+func TestMeshGuardSuspendWindow(t *testing.T) {
+	g := NewMeshGuard()
+	resume := g.Suspend()
+	g.CheckWrite("tag", fakeEnt("vtx 2"), true) // sanctioned
+	inner := g.Suspend()                        // windows nest
+	g.CheckWrite("flag", fakeEnt("vtx 3"), true)
+	inner()
+	g.CheckWrite("tag", fakeEnt("vtx 4"), true)
+	resume()
+	checkOwnership(t, "owner", func() {
+		g.CheckWrite("tag", fakeEnt("vtx 5"), true)
+	})
+}
+
+func TestMeshGuardConfinement(t *testing.T) {
+	g := NewMeshGuard()
+	g.CheckWrite("coord", fakeEnt("vtx 1"), false) // pins the mesh here
+	var wg sync.WaitGroup
+	var got *OwnershipError
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				got, _ = p.(*OwnershipError)
+			}
+		}()
+		g.CheckWrite("coord", fakeEnt("vtx 1"), false)
+	}()
+	wg.Wait()
+	if got == nil {
+		t.Fatal("cross-goroutine write did not panic")
+	}
+	if got.Kind != "confinement" {
+		t.Fatalf("Kind = %q, want confinement", got.Kind)
+	}
+	if got.GID == got.OwnerGID || got.GID == 0 || got.OwnerGID == 0 {
+		t.Fatalf("offending pair not captured: gid %d owner %d", got.GID, got.OwnerGID)
+	}
+	// Confinement holds even inside a Suspend window.
+	resume := g.Suspend()
+	defer resume()
+	var still *OwnershipError
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				still, _ = p.(*OwnershipError)
+			}
+		}()
+		g.CheckWrite("tag", fakeEnt("vtx 9"), true)
+	}()
+	wg.Wait()
+	if still == nil || still.Kind != "confinement" {
+		t.Fatalf("suspend window relaxed confinement: %v", still)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	if Enabled() {
+		t.Fatal("sanitizer enabled by default")
+	}
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enable did not stick")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("Disable did not stick")
+	}
+}
+
+func TestFoldAndHashDetail(t *testing.T) {
+	if Fold(0, 1) == Fold(0, 2) {
+		t.Fatal("Fold insensitive to value")
+	}
+	if Fold(Fold(0, 1), 2) == Fold(Fold(0, 2), 1) {
+		t.Fatal("Fold insensitive to order")
+	}
+	d := HashDetail(DetailSeed, 7)
+	if d == DetailSeed || d != HashDetail(DetailSeed, 7) {
+		t.Fatalf("HashDetail unstable: %#x", d)
+	}
+	if HashBytes(DetailSeed, []byte{1, 2}) == HashBytes(DetailSeed, []byte{2, 1}) {
+		t.Fatal("HashBytes insensitive to byte order")
+	}
+	if HashBytes(DetailSeed, nil) == DetailSeed {
+		t.Fatal("HashBytes ignored the length")
+	}
+	var _ fmt.Stringer = OpRecord{Name: "exchange", Detail: 3}
+	if s := (OpRecord{Name: "exchange", Detail: 3}).String(); s != "exchange[0x3]" {
+		t.Fatalf("OpRecord.String = %q", s)
+	}
+	if s := (OpRecord{Name: "barrier"}).String(); s != "barrier" {
+		t.Fatalf("OpRecord.String = %q", s)
+	}
+}
