@@ -1,17 +1,33 @@
 GO ?= go
 
-.PHONY: all build test bench race vet pumi-vet chaos san-smoke check
+.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet chaos san-smoke check
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# The plain (non-race) test lane also runs the allocation-regression
+# tests pinning steady-state To/Exchange/decode at 0 allocs/op; they
+# self-skip under -race and under the sanitizer.
 test:
 	$(GO) test -shuffle=on ./...
 
+# Regenerate the committed machine-readable benchmark results
+# (BENCH_pr4.json reflects the current tree; BENCH_baseline.json is the
+# frozen pre-overhaul reference — do not regenerate it).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/pumi-bench -json BENCH_pr4.json
+
+# Go micro-benchmarks, benchstat-ready:
+#   make bench-go | benchstat -
+bench-go:
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/pcu/
+
+# One-iteration compile-and-run of every benchmark — catches bit-rotted
+# benchmark code without paying for a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/pcu/...
 
 race:
 	$(GO) test -race ./internal/...
@@ -36,4 +52,4 @@ san-smoke:
 	$(GO) test -race -count=1 -run 'TestSoakSanitized|TestSanitized' ./internal/chaos/ ./internal/partition/
 
 # The full local gate: what CI runs.
-check: vet pumi-vet build test race chaos san-smoke
+check: vet pumi-vet build test race chaos san-smoke bench-smoke

@@ -1,0 +1,381 @@
+package main
+
+// The -json mode: a fixed suite of PCU data-movement microbenchmarks
+// emitting machine-readable results, so the repository can commit a
+// performance trajectory (BENCH_baseline.json, BENCH_pr4.json, ...) and
+// any change to the communication hot path is provable with before and
+// after numbers from the same harness. The suite measures the packing
+// kernels, the decode kernels, sparse and dense neighbor exchanges on
+// both placements (on-node by-reference delivery, off-node serialized
+// copies), collectives, the run-wide performance counters, and one
+// end-to-end migration. Traffic per phase (messages and bytes by
+// architecture class) comes from a separate counted probe run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/fastmath/pumi-go/internal/cmdutil"
+	"github.com/fastmath/pumi-go/internal/gmi"
+	"github.com/fastmath/pumi-go/internal/hwtopo"
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/meshgen"
+	"github.com/fastmath/pumi-go/internal/partition"
+	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/zpart"
+)
+
+// benchResult is one machine-readable microbenchmark row. Exchange rows
+// additionally carry the per-phase traffic split measured by a counted
+// probe run of the same workload.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+
+	OnNodeMsgsPerOp  float64 `json:"on_node_msgs_per_op,omitempty"`
+	OffNodeMsgsPerOp float64 `json:"off_node_msgs_per_op,omitempty"`
+	OnNodeBytesPerOp float64 `json:"on_node_bytes_per_op,omitempty"`
+	OffNodeBytesPerOp float64 `json:"off_node_bytes_per_op,omitempty"`
+}
+
+// benchDoc is the file layout; results keep suite order so two files
+// diff row by row.
+type benchDoc struct {
+	Schema  string        `json:"schema"`
+	Go      string        `json:"go"`
+	Note    string        `json:"note"`
+	Results []benchResult `json:"results"`
+}
+
+const (
+	packN         = 4096
+	exchangeRanks = 8
+	exchangePayload = 1024
+	probePhases   = 64
+)
+
+// runJSONBench runs the suite and writes the document to path ("-" for
+// stdout).
+func runJSONBench(path string) {
+	doc := benchDoc{
+		Schema: "pumi-bench/json/1",
+		Go:     runtime.Version(),
+		Note:   "regenerate with `make bench` (pumi-bench -json FILE); see README Benchmarks",
+	}
+	type suiteEntry struct {
+		name     string
+		setBytes int64
+		fn       func(b *testing.B)
+		probe    func() (pcu.Stats, int) // traffic probe: stats, phases counted
+	}
+	suite := []suiteEntry{
+		{name: "pack/int32s/n=4096", setBytes: 4 * packN, fn: benchPackInt32s},
+		{name: "pack/float64s/n=4096", setBytes: 8 * packN, fn: benchPackFloat64s},
+		{name: "pack/bytes/n=65536", setBytes: 65536, fn: benchPackBytes},
+		{name: "unpack/int32s/n=4096", setBytes: 4 * packN, fn: benchUnpackInt32s},
+		{name: "unpack/float64s/n=4096", setBytes: 8 * packN, fn: benchUnpackFloat64s},
+		{name: "unpack/scalars/n=4096", setBytes: 8 * packN, fn: benchUnpackScalars},
+		{
+			name: "exchange/sparse/on-node", setBytes: 2 * exchangePayload,
+			fn:    benchExchange(hwtopo.Cluster(1, exchangeRanks), false),
+			probe: probeExchange(hwtopo.Cluster(1, exchangeRanks), false),
+		},
+		{
+			name: "exchange/sparse/off-node", setBytes: 2 * exchangePayload,
+			fn:    benchExchange(hwtopo.Cluster(exchangeRanks, 1), false),
+			probe: probeExchange(hwtopo.Cluster(exchangeRanks, 1), false),
+		},
+		{
+			name: "exchange/dense/on-node", setBytes: exchangeRanks * exchangePayload,
+			fn:    benchExchange(hwtopo.Cluster(1, exchangeRanks), true),
+			probe: probeExchange(hwtopo.Cluster(1, exchangeRanks), true),
+		},
+		{
+			name: "exchange/sparse/two-node", setBytes: 2 * exchangePayload,
+			fn:    benchExchange(hwtopo.Cluster(2, exchangeRanks/2), false),
+			probe: probeExchange(hwtopo.Cluster(2, exchangeRanks/2), false),
+		},
+		{name: "collective/allreduce/ranks=8", fn: benchAllreduce},
+		{name: "counters/add/ranks=8", fn: benchCounters},
+		{name: "migrate/box10/ranks=4", fn: benchMigrateOnce},
+	}
+	for _, e := range suite {
+		fn := e.fn
+		setBytes := e.setBytes
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if setBytes > 0 {
+				b.SetBytes(setBytes)
+			}
+			fn(b)
+		})
+		row := benchResult{
+			Name:        e.name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if setBytes > 0 && r.T > 0 {
+			row.MBPerSec = float64(setBytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		if e.probe != nil {
+			stats, phases := e.probe()
+			row.OnNodeMsgsPerOp = float64(stats.OnNodeMsgs) / float64(phases)
+			row.OffNodeMsgsPerOp = float64(stats.OffNodeMsgs) / float64(phases)
+			row.OnNodeBytesPerOp = float64(stats.OnNodeBytes) / float64(phases)
+			row.OffNodeBytesPerOp = float64(stats.OffNodeBytes) / float64(phases)
+		}
+		doc.Results = append(doc.Results, row)
+		fmt.Fprintf(os.Stderr, "%-28s %12.1f ns/op %8d allocs/op\n", e.name, row.NsPerOp, row.AllocsPerOp)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		cmdutil.Fail(err)
+	}
+}
+
+func benchPackInt32s(b *testing.B) {
+	vals := make([]int32, packN)
+	for i := range vals {
+		vals[i] = int32(i * 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf pcu.Buffer
+		buf.Int32s(vals)
+	}
+}
+
+func benchPackFloat64s(b *testing.B) {
+	vals := make([]float64, packN)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf pcu.Buffer
+		buf.Float64s(vals)
+	}
+}
+
+func benchPackBytes(b *testing.B) {
+	vals := make([]byte, 65536)
+	for i := range vals {
+		vals[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf pcu.Buffer
+		buf.Bytes(vals)
+	}
+}
+
+func benchUnpackInt32s(b *testing.B) {
+	vals := make([]int32, packN)
+	for i := range vals {
+		vals[i] = int32(i * 3)
+	}
+	var src pcu.Buffer
+	src.Int32s(vals)
+	raw := src.Raw()
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		r := pcu.NewReader(raw)
+		out := r.Int32s()
+		r.Done()
+		sink += out[0]
+	}
+	_ = sink
+}
+
+func benchUnpackFloat64s(b *testing.B) {
+	vals := make([]float64, packN)
+	for i := range vals {
+		vals[i] = float64(i) * 1.25
+	}
+	var src pcu.Buffer
+	src.Float64s(vals)
+	raw := src.Raw()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		r := pcu.NewReader(raw)
+		out := r.Float64s()
+		r.Done()
+		sink += out[0]
+	}
+	_ = sink
+}
+
+func benchUnpackScalars(b *testing.B) {
+	var src pcu.Buffer
+	for i := 0; i < packN; i++ {
+		src.Int64(int64(i))
+	}
+	raw := src.Raw()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		r := pcu.NewReader(raw)
+		for j := 0; j < packN; j++ {
+			sink += r.Int64()
+		}
+		r.Done()
+	}
+	_ = sink
+}
+
+// benchExchange measures one neighbor-exchange phase per op: each rank
+// packs to its ring neighbors (sparse) or to every rank (dense),
+// exchanges, and fully decodes what arrived. All b.N phases run inside
+// one spawned world so goroutine startup is amortized away.
+func benchExchange(topo hwtopo.Topology, dense bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		payload := make([]byte, exchangePayload)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		b.ResetTimer()
+		_, err := pcu.RunOpt(exchangeRanks, pcu.Options{Topo: topo, StallTimeout: -1}, func(c *pcu.Ctx) error {
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			for i := 0; i < b.N; i++ {
+				if dense {
+					for p := 0; p < c.Size(); p++ {
+						c.To(p).Bytes(payload)
+					}
+				} else {
+					c.To(next).Bytes(payload)
+					c.To(prev).Bytes(payload)
+				}
+				for _, m := range c.Exchange() {
+					for !m.Data.Empty() {
+						if v := m.Data.BytesVal(); len(v) != exchangePayload {
+							return fmt.Errorf("short payload %d", len(v))
+						}
+					}
+					m.Data.Done()
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			cmdutil.Fail(err)
+		}
+	}
+}
+
+// probeExchange runs a fixed number of phases of the same workload and
+// returns the world's traffic counters, for per-phase message and byte
+// accounting alongside the timing row.
+func probeExchange(topo hwtopo.Topology, dense bool) func() (pcu.Stats, int) {
+	return func() (pcu.Stats, int) {
+		payload := make([]byte, exchangePayload)
+		stats, err := pcu.RunOpt(exchangeRanks, pcu.Options{Topo: topo, StallTimeout: -1}, func(c *pcu.Ctx) error {
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			for i := 0; i < probePhases; i++ {
+				if dense {
+					for p := 0; p < c.Size(); p++ {
+						c.To(p).Bytes(payload)
+					}
+				} else {
+					c.To(next).Bytes(payload)
+					c.To(prev).Bytes(payload)
+				}
+				for _, m := range c.Exchange() {
+					for !m.Data.Empty() {
+						m.Data.BytesVal()
+					}
+					m.Data.Done()
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			cmdutil.Fail(err)
+		}
+		return stats, probePhases
+	}
+}
+
+func benchAllreduce(b *testing.B) {
+	b.ResetTimer()
+	err := pcu.Run(exchangeRanks, func(c *pcu.Ctx) error {
+		for i := 0; i < b.N; i++ {
+			if got := pcu.SumInt64(c, 1); got != int64(c.Size()) {
+				return fmt.Errorf("allreduce = %d", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+}
+
+// benchCounters measures the run-wide performance counter hot path
+// under full contention: every rank accumulates into the same named
+// counter and timer concurrently, b.N times each.
+func benchCounters(b *testing.B) {
+	b.ResetTimer()
+	err := pcu.Run(exchangeRanks, func(c *pcu.Ctx) error {
+		ctrs := c.Counters()
+		for i := 0; i < b.N; i++ {
+			t := ctrs.Start("bench.op")
+			ctrs.Add("bench.count", 1)
+			t.Stop()
+		}
+		return nil
+	})
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+}
+
+// benchMigrateOnce is the end-to-end row: distribute a serial box mesh
+// onto 4 ranks by RCB, once per op.
+func benchMigrateOnce(b *testing.B) {
+	model := gmi.Box(1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := pcu.Run(4, func(ctx *pcu.Ctx) error {
+			var serial *mesh.Mesh
+			if ctx.Rank() == 0 {
+				serial = meshgen.Box3D(model, 10, 10, 10)
+			}
+			dm := partition.Adopt(ctx, model.Model, 3, serial, 1)
+			var plan map[mesh.Ent]int32
+			if ctx.Rank() == 0 {
+				in, els := zpart.Centroids(serial)
+				assign := zpart.RCB(in, 4)
+				plan = map[mesh.Ent]int32{}
+				for j, el := range els {
+					plan[el] = assign[j]
+				}
+			}
+			partition.Migrate(dm, partition.PlansFromAssignment(dm, plan))
+			return nil
+		})
+		if err != nil {
+			cmdutil.Fail(err)
+		}
+	}
+}

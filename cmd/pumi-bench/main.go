@@ -35,6 +35,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts parallel runs with a structured error")
 	chaosSeeds := flag.String("chaos", "", "comma-separated seeds: run the fault-injection soak instead of experiments")
 	chaosDir := flag.String("chaos-dir", "", "checkpoint directory for -chaos (default a temp dir)")
+	jsonOut := flag.String("json", "", "run the PCU microbenchmark suite instead of experiments and write machine-readable results to FILE ('-' for stdout)")
 	sanitize := flag.Bool("san", false, "run everything under pumi-san: cross-check collective schedules across ranks, enforce owner-only mesh writes, and print the op-sequence hash at exit")
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
@@ -45,6 +46,11 @@ func main() {
 
 	if *chaosSeeds != "" {
 		runChaos(*chaosSeeds, *chaosDir, *sanitize)
+		sanReport(*sanitize)
+		return
+	}
+	if *jsonOut != "" {
+		runJSONBench(*jsonOut)
 		sanReport(*sanitize)
 		return
 	}

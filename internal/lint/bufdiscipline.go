@@ -31,16 +31,28 @@ var BufDiscipline = &Analyzer{
 
 var decodeMethods = map[string]bool{
 	"Byte": true, "Int32": true, "Int64": true, "Float64": true,
-	"BytesVal": true, "Int32s": true, "Float64s": true,
+	"Bytes": true, "BytesVal": true, "BytesNoCopy": true,
+	"Int32s": true, "Int64s": true, "Float64s": true,
+	"AppendInt32s": true, "AppendInt64s": true, "AppendFloat64s": true,
 }
 
 var finalizeMethods = map[string]bool{
 	"Empty": true, "Remaining": true, "Done": true,
 }
 
+// packMethods includes Reset: resetting a phase buffer after Exchange is
+// the same bug as writing to it — the backing array belongs to the
+// receiver (on-node) or the pool.
 var packMethods = map[string]bool{
 	"Byte": true, "Int32": true, "Int64": true, "Float64": true,
-	"Bytes": true, "Int32s": true, "Float64s": true,
+	"Bytes": true, "Int32s": true, "Int64s": true, "Float64s": true,
+	"Reset": true,
+}
+
+// aliasMethods decode a slice that aliases the message's backing array;
+// on a pooled reader such slices die when Done recycles the array.
+var aliasMethods = map[string]bool{
+	"BytesVal": true, "BytesNoCopy": true,
 }
 
 func runBufDiscipline(p *Pass) {
@@ -67,6 +79,11 @@ type readerState struct {
 	firstDecode token.Pos
 	decoded     bool
 	finalized   bool
+	// pooled marks readers backed by a received Message (.Data): their
+	// Done recycles the backing array, so uncopied slices decoded from
+	// them must not be used past Done. NewReader readers are not pooled.
+	pooled bool
+	done   token.Pos // first Done call, NoPos if never
 }
 
 func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
@@ -78,6 +95,11 @@ func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
 		pos token.Pos
 	}
 	var writes []bufWrite
+	type aliasDef struct {
+		st  *readerState
+		pos token.Pos
+	}
+	aliases := map[types.Object]aliasDef{} // uncopied decode var -> its reader
 
 	reader := func(key any) *readerState {
 		st := readers[key]
@@ -86,6 +108,29 @@ func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
 			readers[key] = st
 		}
 		return st
+	}
+
+	// readerOf resolves a method receiver to its tracked state: a
+	// variable aliasing a reader origin, or a .Data selector path.
+	// Untracked receivers (reader-typed parameters) return nil — partial
+	// decoding may be the callee's contract.
+	readerOf := func(x ast.Expr) *readerState {
+		switch recv := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[recv]
+			if obj == nil {
+				return nil
+			}
+			return readers[obj]
+		case *ast.SelectorExpr:
+			if recv.Sel.Name != "Data" {
+				return nil
+			}
+			st := reader(selectorPath(recv))
+			st.pooled = true
+			return st
+		}
+		return nil
 	}
 
 	// Single pass in source order, not descending into nested literals
@@ -118,7 +163,8 @@ func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
 				}
 				// Reader aliases: r := msg.Data / r := pcu.NewReader(x).
 				for i, rhs := range n.Rhs {
-					if !isReaderOrigin(p, rhs) {
+					pooled, ok := readerOrigin(p, rhs)
+					if !ok {
 						continue
 					}
 					if id, ok := n.Lhs[i].(*ast.Ident); ok {
@@ -127,8 +173,37 @@ func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
 							obj = p.Info.Uses[id]
 						}
 						if obj != nil {
-							reader(obj) // begin tracking, undecoded
+							st := reader(obj) // begin tracking, undecoded
+							st.pooled = st.pooled || pooled
 						}
+					}
+				}
+				// Uncopied decodes: v := r.BytesNoCopy() aliases the
+				// pooled message buffer; remember which reader owns v so
+				// uses past that reader's Done can be flagged.
+				for i, rhs := range n.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || !aliasMethods[sel.Sel.Name] || !isReaderPtr(p.TypeOf(sel.X)) {
+						continue
+					}
+					st := readerOf(sel.X)
+					if st == nil || !st.pooled {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.Info.Defs[id]
+					if obj == nil {
+						obj = p.Info.Uses[id]
+					}
+					if obj != nil {
+						aliases[obj] = aliasDef{st: st, pos: n.Pos()}
 					}
 				}
 			}
@@ -154,31 +229,15 @@ func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
 			// Reader decodes / finalizes, keyed by variable object or
 			// by the selector path of the receiver.
 			if (decodeMethods[name] || finalizeMethods[name]) && isReaderPtr(p.TypeOf(sel.X)) {
-				var st *readerState
-				switch recv := ast.Unparen(sel.X).(type) {
-				case *ast.Ident:
-					// Only variables that alias a reader origin in this
-					// function are tracked; parameters of reader type
-					// are exempt (partial decode may be the callee's
-					// contract).
-					obj := p.Info.Uses[recv]
-					if obj == nil {
-						return true
-					}
-					st = readers[obj]
-					if st == nil {
-						return true
-					}
-				case *ast.SelectorExpr:
-					if recv.Sel.Name != "Data" {
-						return true
-					}
-					st = reader(selectorPath(recv))
-				default:
+				st := readerOf(sel.X)
+				if st == nil {
 					return true
 				}
 				if finalizeMethods[name] {
 					st.finalized = true
+					if name == "Done" && st.done == token.NoPos {
+						st.done = n.Pos()
+					}
 				} else if !st.decoded {
 					st.decoded = true
 					st.firstDecode = n.Pos()
@@ -204,6 +263,44 @@ func checkPhaseBody(p *Pass, body *ast.BlockStmt) {
 			p.Reportf(st.firstDecode,
 				"message reader decoded but never checked for exhaustion; call Empty/Remaining in a loop or Done after the last decode")
 		}
+	}
+
+	// Escape-past-Done: a use of an uncopied slice after the owning
+	// reader's Done reads bytes the pool may already have handed to a
+	// later phase. Assignment LHS positions are skipped (overwriting the
+	// alias variable is fine).
+	if len(aliases) > 0 {
+		lhs := map[*ast.Ident]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if a, ok := n.(*ast.AssignStmt); ok {
+				for _, l := range a.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						lhs[id] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || lhs[id] {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			a, ok := aliases[obj]
+			if !ok {
+				return true
+			}
+			if a.st.done != token.NoPos && id.Pos() > a.st.done && id.Pos() > a.pos {
+				p.Reportf(id.Pos(),
+					"slice %q aliases a pooled message recycled by Done at %s; copy it with Bytes or use it before Done",
+					obj.Name(), p.Fset.Position(a.st.done))
+			}
+			return true
+		})
 	}
 }
 
@@ -237,20 +334,23 @@ func isExchangeCall(p *Pass, call *ast.CallExpr) bool {
 	return namedName(recv) == "phase"
 }
 
-// isReaderOrigin reports whether the expression produces a fresh reader
-// this function is responsible for: pcu.NewReader(...) or a .Data
-// selector of reader type (a received message).
-func isReaderOrigin(p *Pass, e ast.Expr) bool {
+// readerOrigin reports whether the expression produces a fresh reader
+// this function is responsible for — pcu.NewReader(...) or a .Data
+// selector of reader type (a received message) — and whether that
+// origin is pooled (recycled by Done).
+func readerOrigin(p *Pass, e ast.Expr) (pooled, ok bool) {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
 		if fn := calleeFunc(p.Info, e); fn != nil && fn.Name() == "NewReader" &&
 			fn.Pkg() != nil && pathHasSuffix(fn.Pkg().Path(), pcuPkg) {
-			return true
+			return false, true
 		}
 	case *ast.SelectorExpr:
-		return e.Sel.Name == "Data" && isReaderPtr(p.TypeOf(e))
+		if e.Sel.Name == "Data" && isReaderPtr(p.TypeOf(e)) {
+			return true, true
+		}
 	}
-	return false
+	return false, false
 }
 
 // selectorPath renders a selector chain (msg.Data, m.Data) to a

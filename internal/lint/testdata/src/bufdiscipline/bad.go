@@ -34,3 +34,36 @@ func badUncheckedNewReader(payload []byte) {
 	r := pcu.NewReader(payload)
 	_ = r.Int32() // want `never checked for exhaustion`
 }
+
+func badUncheckedBulk(c *pcu.Ctx) {
+	for _, m := range c.Exchange() {
+		_ = m.Data.Int64s() // want `never checked for exhaustion`
+	}
+}
+
+func badAliasPastDone(c *pcu.Ctx) byte {
+	var last byte
+	for _, m := range c.Exchange() {
+		v := m.Data.BytesVal()
+		m.Data.Done()
+		last = v[0] // want `recycled by Done`
+	}
+	return last
+}
+
+func badAliasEscape(c *pcu.Ctx) [][]byte {
+	var keep [][]byte
+	for _, m := range c.Exchange() {
+		v := m.Data.BytesNoCopy()
+		m.Data.Done()
+		keep = append(keep, v) // want `recycled by Done`
+	}
+	return keep
+}
+
+func badResetDelivered(c *pcu.Ctx, peer int) {
+	b := c.To(peer)
+	b.Int64s([]int64{1, 2})
+	c.Exchange()
+	b.Reset() // want `written after Exchange`
+}

@@ -49,3 +49,51 @@ func okParamReader(r *pcu.Reader) float64 {
 	// caller owns the exhaustion check.
 	return r.Float64()
 }
+
+func okAliasBeforeDone(c *pcu.Ctx) int {
+	total := 0
+	for _, m := range c.Exchange() {
+		v := m.Data.BytesNoCopy()
+		total += len(v)
+		m.Data.Done()
+	}
+	return total
+}
+
+func okCopiedPastDone(c *pcu.Ctx) [][]byte {
+	var keep [][]byte
+	for _, m := range c.Exchange() {
+		v := m.Data.Bytes() // Bytes copies; the slice survives Done
+		m.Data.Done()
+		keep = append(keep, v)
+	}
+	return keep
+}
+
+func okStandaloneAlias(payload []byte) byte {
+	// NewReader readers are not pooled: Done only asserts exhaustion,
+	// so aliased slices stay valid.
+	r := pcu.NewReader(payload)
+	v := r.BytesNoCopy()
+	r.Done()
+	return v[0]
+}
+
+func okBulkPhase(c *pcu.Ctx, peer int, vals []int64) {
+	b := c.To(peer)
+	b.Int64s(vals)
+	for _, m := range c.Exchange() {
+		got := m.Data.AppendInt64s(nil)
+		_ = got
+		m.Data.Done()
+	}
+}
+
+func okResetStandalone(vals []int32) *pcu.Buffer {
+	// Reset is legal on standalone buffers never handed to a phase.
+	var b pcu.Buffer
+	b.Int32s(vals)
+	b.Reset()
+	b.Int32s(vals)
+	return &b
+}

@@ -135,6 +135,7 @@ func packGhosts(b *pcu.Buffer, part *Part, els []mesh.Ent, d int) {
 			}
 		}
 	}
+	var gids []int64 // down-adjacency gid scratch, bulk-packed per entity
 	for dd := 0; dd <= d; dd++ {
 		var level []mesh.Ent
 		if dd == d {
@@ -162,10 +163,11 @@ func packGhosts(b *pcu.Buffer, part *Part, els []mesh.Ent, d int) {
 				b.Float64(p.Z)
 			} else {
 				down := m.Down(e)
-				b.Int32(int32(len(down)))
+				gids = gids[:0]
 				for _, de := range down {
-					b.Int64(part.Gid(de))
+					gids = append(gids, part.Gid(de))
 				}
+				b.Int64s(gids)
 			}
 			writeEntityTags(b, m, movable, e)
 			if dd == d {
@@ -183,6 +185,7 @@ func unpackGhosts(dm *DMesh, msg partMsg) {
 	d := dm.Dim
 	r := msg.Data
 	table := readTagTable(r, m)
+	var gidScratch []int64 // down-adjacency gid decode scratch
 	for dd := 0; dd <= d; dd++ {
 		n := int(r.Int32())
 		for k := 0; k < n; k++ {
@@ -202,10 +205,9 @@ func unpackGhosts(dm *DMesh, msg partMsg) {
 					created = true
 				}
 			} else {
-				nd := int(r.Int32())
-				down := make([]mesh.Ent, nd)
-				for j := 0; j < nd; j++ {
-					dg := r.Int64()
+				gidScratch = r.AppendInt64s(gidScratch[:0])
+				down := make([]mesh.Ent, len(gidScratch))
+				for j, dg := range gidScratch {
 					de, ok := part.FindGid(dd-1, dg)
 					if !ok {
 						panic(fmt.Sprintf("partition: ghost closure gid %d missing", dg))

@@ -471,6 +471,7 @@ func packElements(b *pcu.Buffer, dm *DMesh, partIdx int, dest int32, els []mesh.
 			}
 		}
 	}
+	var gids []int64 // down-adjacency gid scratch, bulk-packed per entity
 	for dd := 0; dd <= d; dd++ {
 		var level []mesh.Ent
 		if dd == d {
@@ -491,7 +492,8 @@ func packElements(b *pcu.Buffer, dm *DMesh, partIdx int, dest int32, els []mesh.
 			b.Byte(byte(int8(c.Dim) + 1)) // -1..3 -> 0..4
 			b.Int32(c.Tag)
 			if dd == d {
-				b.Int32s([]int32{dest})
+				b.Int32(1) // residence set {dest}, same wire as Int32s
+				b.Int32(dest)
 			} else {
 				b.Int32s(res[e].Values())
 			}
@@ -502,10 +504,11 @@ func packElements(b *pcu.Buffer, dm *DMesh, partIdx int, dest int32, els []mesh.
 				b.Float64(p.Z)
 			} else {
 				down := m.Down(e)
-				b.Int32(int32(len(down)))
+				gids = gids[:0]
 				for _, de := range down {
-					b.Int64(part.Gid(de))
+					gids = append(gids, part.Gid(de))
 				}
+				b.Int64s(gids)
 			}
 			writeEntityTags(b, m, movable, e)
 		}
@@ -524,6 +527,8 @@ func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet, crea
 	d := dm.Dim
 	r := msg.Data
 	table := readTagTable(r, m)
+	var resScratch []int32 // residence-set decode scratch, consumed by mergeRes
+	var gidScratch []int64 // down-adjacency gid decode scratch
 	for dd := 0; dd <= d; dd++ {
 		n := int(r.Int32())
 		for k := 0; k < n; k++ {
@@ -531,7 +536,8 @@ func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet, crea
 			gid := r.Int64()
 			cdim := int8(r.Byte()) - 1
 			ctag := r.Int32()
-			resVals := r.Int32s()
+			resVals := r.AppendInt32s(resScratch[:0])
+			resScratch = resVals
 			cls := gmi.Ref{Dim: cdim, Tag: ctag}
 			if dd == 0 {
 				x, y, z := r.Float64(), r.Float64(), r.Float64()
@@ -545,11 +551,10 @@ func unpackElements(dm *DMesh, msg partMsg, recvRes map[mesh.Ent]ds.IntSet, crea
 				mergeRes(recvRes, e, resVals)
 				continue
 			}
-			nd := int(r.Int32())
-			down := make([]mesh.Ent, nd)
+			gidScratch = r.AppendInt64s(gidScratch[:0])
+			down := make([]mesh.Ent, len(gidScratch))
 			missing := false
-			for j := 0; j < nd; j++ {
-				dg := r.Int64()
+			for j, dg := range gidScratch {
 				de, ok := part.FindGid(dd-1, dg)
 				if !ok {
 					missing = true

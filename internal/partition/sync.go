@@ -14,6 +14,7 @@ import (
 // way PUMI's apf::synchronize works.
 func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buffer), apply func(p *Part, e mesh.Ent, r *pcu.Reader)) {
 	ph := dm.beginPhase()
+	var payload pcu.Buffer // reused across entities; Bytes copies it out
 	for _, part := range dm.Parts {
 		m := part.M
 		for _, d := range dims {
@@ -21,7 +22,7 @@ func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buf
 				if !m.IsOwned(e) {
 					continue
 				}
-				var payload pcu.Buffer
+				payload.Reset()
 				pack(part, e, &payload)
 				for _, rc := range m.Remotes(e) {
 					b := ph.to(m.Part(), rc.Part)
@@ -35,12 +36,13 @@ func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buf
 	// The apply side writes owner data onto copies this part does not
 	// own — the point of the protocol, so sanctioned for the sanitizer.
 	defer dm.suspendGuards()()
+	var sub pcu.Reader
 	for _, msg := range ph.exchange() {
 		part := dm.LocalPart(msg.To)
 		for !msg.Data.Empty() {
 			e := mesh.Ent{T: mesh.Type(msg.Data.Byte()), I: msg.Data.Int32()}
-			payload := msg.Data.BytesVal()
-			apply(part, e, pcu.NewReader(payload))
+			sub.Reset(msg.Data.BytesNoCopy())
+			apply(part, e, &sub)
 		}
 	}
 }
@@ -51,6 +53,7 @@ func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buf
 // assembly). apply runs on the owning part once per contributing copy.
 func ReduceShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buffer), apply func(p *Part, e mesh.Ent, r *pcu.Reader)) {
 	ph := dm.beginPhase()
+	var payload pcu.Buffer // reused across entities; Bytes copies it out
 	for _, part := range dm.Parts {
 		m := part.M
 		for _, d := range dims {
@@ -63,7 +66,7 @@ func ReduceShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.B
 				if !ok {
 					continue
 				}
-				var payload pcu.Buffer
+				payload.Reset()
 				pack(part, e, &payload)
 				b := ph.to(m.Part(), owner)
 				b.Byte(byte(h.T))
@@ -72,12 +75,13 @@ func ReduceShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.B
 			}
 		}
 	}
+	var sub pcu.Reader
 	for _, msg := range ph.exchange() {
 		part := dm.LocalPart(msg.To)
 		for !msg.Data.Empty() {
 			e := mesh.Ent{T: mesh.Type(msg.Data.Byte()), I: msg.Data.Int32()}
-			payload := msg.Data.BytesVal()
-			apply(part, e, pcu.NewReader(payload))
+			sub.Reset(msg.Data.BytesNoCopy())
+			apply(part, e, &sub)
 		}
 	}
 }

@@ -49,7 +49,7 @@ func readTagTable(r *pcu.Reader, m *mesh.Mesh) []tagSlot {
 	n := int(r.Byte())
 	out := make([]tagSlot, n)
 	for i := 0; i < n; i++ {
-		name := string(r.BytesVal())
+		name := string(r.BytesNoCopy())
 		kind := ds.TagKind(r.Byte())
 		size := int(r.Int32())
 		tag := m.Tags.Find(name)
@@ -91,9 +91,7 @@ func writeEntityTags(b *pcu.Buffer, m *mesh.Mesh, movable []*ds.Tag, e mesh.Ent)
 			b.Float64(v)
 		case ds.TagIntSlice:
 			v, _ := m.Tags.GetInts(t, e)
-			for _, x := range v {
-				b.Int64(x)
-			}
+			b.Int64s(v)
 		case ds.TagFloatSlice:
 			v, _ := m.Tags.GetFloats(t, e)
 			b.Float64s(v)
@@ -115,7 +113,6 @@ func applyEntityTags(r *pcu.Reader, m *mesh.Mesh, table []tagSlot, e mesh.Ent, a
 			tag = nil
 		}
 		kind := table[i].kind
-		size := table[i].size
 		switch kind {
 		case ds.TagInt:
 			v := r.Int64()
@@ -128,10 +125,7 @@ func applyEntityTags(r *pcu.Reader, m *mesh.Mesh, table []tagSlot, e mesh.Ent, a
 				m.Tags.SetFloat(tag, e, v)
 			}
 		case ds.TagIntSlice:
-			vals := make([]int64, size)
-			for j := range vals {
-				vals[j] = r.Int64()
-			}
+			vals := r.Int64s()
 			if tag != nil {
 				m.Tags.SetInts(tag, e, vals)
 			}
@@ -141,7 +135,9 @@ func applyEntityTags(r *pcu.Reader, m *mesh.Mesh, table []tagSlot, e mesh.Ent, a
 				m.Tags.SetFloats(tag, e, v)
 			}
 		case ds.TagBytes:
-			v := r.BytesVal()
+			// Aliasing is safe here: SetBytes copies before the message
+			// can be released.
+			v := r.BytesNoCopy()
 			if tag != nil {
 				m.Tags.SetBytes(tag, e, v)
 			}

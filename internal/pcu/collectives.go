@@ -7,7 +7,7 @@ package pcu
 // Allreduce combines one value per rank with op and returns the result
 // on every rank.
 func Allreduce[T any](c *Ctx, v T, op func(T, T) T) T {
-	c.collStart("allreduce")
+	c.collStart(&opAllreduce)
 	defer c.endOp()
 	c.w.slots[c.rank] = v
 	c.wait()
@@ -22,7 +22,7 @@ func Allreduce[T any](c *Ctx, v T, op func(T, T) T) T {
 // Reduce combines one value per rank with op; the result is valid on
 // root (other ranks receive the zero value).
 func Reduce[T any](c *Ctx, root int, v T, op func(T, T) T) T {
-	c.collStart("reduce")
+	c.collStart(&opReduce)
 	defer c.endOp()
 	c.w.slots[c.rank] = v
 	c.wait()
@@ -39,7 +39,7 @@ func Reduce[T any](c *Ctx, root int, v T, op func(T, T) T) T {
 
 // Bcast distributes root's value to every rank.
 func Bcast[T any](c *Ctx, root int, v T) T {
-	c.collStart("bcast")
+	c.collStart(&opBcast)
 	defer c.endOp()
 	if c.rank == root {
 		c.w.slots[root] = v
@@ -52,7 +52,7 @@ func Bcast[T any](c *Ctx, root int, v T) T {
 
 // Allgather returns every rank's value, indexed by rank, on every rank.
 func Allgather[T any](c *Ctx, v T) []T {
-	c.collStart("allgather")
+	c.collStart(&opAllgather)
 	defer c.endOp()
 	c.w.slots[c.rank] = v
 	c.wait()
@@ -67,7 +67,7 @@ func Allgather[T any](c *Ctx, v T) []T {
 // Exscan returns the exclusive prefix reduction of v over ranks below
 // this one; rank 0 receives the provided identity.
 func Exscan[T any](c *Ctx, v, identity T, op func(T, T) T) T {
-	c.collStart("exscan")
+	c.collStart(&opExscan)
 	defer c.endOp()
 	c.w.slots[c.rank] = v
 	c.wait()

@@ -36,9 +36,25 @@
 //     every write a rank performs before bar.wait() returns
 //     happens-before every read any rank performs after the same
 //     barrier generation completes. Exchange publishes inbox entries
-//     under the inbox mutex before its first barrier, and collects them
-//     after it; the second barrier keeps a fast rank's next phase from
-//     overlapping a slow rank's collection.
+//     under the inbox mutex before its single delivery barrier, and
+//     collects them after it. Deliveries are phase-tagged rather than
+//     fenced by a second barrier: a fast rank can run at most one phase
+//     ahead (its next barrier cannot complete until every rank reaches
+//     it), so an inbox holds entries of at most two adjacent phases and
+//     collection filters by tag, leaving newer entries in place.
+//     Sanitized runs keep a second wait so every checked op spans
+//     exactly two sync points.
+//
+//   - Exchange machinery is pooled per rank. The per-peer Buffers, the
+//     backing arrays and the Readers handed out by Exchange all recycle
+//     through free lists owned by a single rank, so reuse needs no
+//     synchronization: on-node delivery transfers array ownership to
+//     the receiver, and the receiver's Reader.Done returns the array to
+//     its own pool. Consequently a Message, its Reader and any slice
+//     decoded without copying (BytesNoCopy, BytesVal) are valid only
+//     until Done — or the next Exchange — and must never be stored;
+//     Reader.Bytes returns a copy that survives. The bufdiscipline
+//     analyzer flags uses of an uncopied slice past Done.
 //
 //   - Collectives write only their own World.slots entry, then barrier,
 //     then read the other entries, then barrier again before any rank

@@ -1,0 +1,48 @@
+//go:build !(386 || amd64 || amd64p32 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm)
+
+package pcu
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Bulk codec kernels, portable path for big-endian (or unknown)
+// architectures: explicit little-endian conversion per element. See
+// msg_le.go for the memmove fast path.
+
+func packInt32s(dst []byte, v []int32) {
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(dst[i*4:], uint32(x))
+	}
+}
+
+func packInt64s(dst []byte, v []int64) {
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[i*8:], uint64(x))
+	}
+}
+
+func packFloat64s(dst []byte, v []float64) {
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(x))
+	}
+}
+
+func unpackInt32s(dst []int32, src []byte) {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+}
+
+func unpackInt64s(dst []int64, src []byte) {
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}
+
+func unpackFloat64s(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}

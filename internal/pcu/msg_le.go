@@ -1,0 +1,53 @@
+//go:build 386 || amd64 || amd64p32 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm
+
+package pcu
+
+import "unsafe"
+
+// Bulk codec kernels, little-endian fast path: the wire format is
+// little-endian fixed-width, which on these architectures is exactly
+// the in-memory layout of the element slice — so a bulk pack or unpack
+// is a single memmove. msg_generic.go holds the portable loops; both
+// produce byte-identical wire data.
+
+func packInt32s(dst []byte, v []int32) {
+	if len(v) == 0 {
+		return
+	}
+	copy(dst, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+}
+
+func packInt64s(dst []byte, v []int64) {
+	if len(v) == 0 {
+		return
+	}
+	copy(dst, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)))
+}
+
+func packFloat64s(dst []byte, v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	copy(dst, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)))
+}
+
+func unpackInt32s(dst []int32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 4*len(dst)), src)
+}
+
+func unpackInt64s(dst []int64, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), src)
+}
+
+func unpackFloat64s(dst []float64, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), src)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pcu
+
+const raceEnabled = false

@@ -77,7 +77,7 @@ func (c *Ctx) sanExchangeDetail(peers []int) uint64 {
 	detail := san.DetailSeed
 	for _, p := range peers {
 		detail = san.HashDetail(detail, uint64(p))
-		detail = san.HashBytes(detail, c.out[p].buf)
+		detail = san.HashBytes(detail, c.bufs[p].buf)
 	}
 	return detail
 }

@@ -78,22 +78,27 @@ func (e *StallError) Error() string {
 
 func (e *StallError) Unwrap() error { return ErrStalled }
 
-// snapshot collects every rank's progress state.
+// snapshot collects every rank's progress state. Each field is read
+// atomically; a snapshot only triggers a teardown when it repeats
+// across consecutive polls, so skew between fields of a rank mid-update
+// cannot produce a false diagnosis.
 func (w *World) snapshot() []RankSnapshot {
 	out := make([]RankSnapshot, len(w.ranks))
 	for i := range w.ranks {
 		rs := &w.ranks[i]
-		rs.mu.Lock()
+		op := ""
+		if p := rs.op.Load(); p != nil {
+			op = *p
+		}
 		out[i] = RankSnapshot{
 			Rank:        i,
-			Op:          rs.op,
-			Collectives: rs.colls,
-			Exchanges:   rs.exchs,
-			Blocked:     rs.blocked,
-			Done:        rs.done,
-			Vanished:    rs.vanished,
+			Op:          op,
+			Collectives: rs.colls.Load(),
+			Exchanges:   rs.exchs.Load(),
+			Blocked:     rs.blocked.Load(),
+			Done:        rs.done.Load(),
+			Vanished:    rs.vanished.Load(),
 		}
-		rs.mu.Unlock()
 	}
 	return out
 }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"runtime/debug"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,18 +77,33 @@ type World struct {
 	onMsgs, offMsgs, onBytes, offBytes, colls atomic.Int64
 
 	counters perf.Counters
+	shards   []*perf.Shard // one counter shard per rank
 }
 
-// rankState is one rank's progress record, written by the rank itself
-// and read by the watchdog under mu.
+// Interned op names: rankState.op holds a pointer so recording progress
+// on the hot path is a single atomic store with no boxing allocation.
+var (
+	opNone      = ""
+	opExchange  = "exchange"
+	opBarrier   = "barrier"
+	opAllreduce = "allreduce"
+	opReduce    = "reduce"
+	opBcast     = "bcast"
+	opAllgather = "allgather"
+	opExscan    = "exscan"
+)
+
+// rankState is one rank's progress record, written lock-free by the
+// rank itself and read by the watchdog. Each field is independently
+// atomic; the watchdog tolerates skew between fields because it only
+// acts on states that repeat across consecutive polls.
 type rankState struct {
-	mu       sync.Mutex
-	op       string // blocking op currently entered ("" while computing)
-	colls    int64
-	exchs    int64
-	blocked  bool // parked in the barrier
-	done     bool // body returned, panicked, or vanished
-	vanished bool
+	op       atomic.Pointer[string] // blocking op currently entered (opNone while computing)
+	colls    atomic.Int64
+	exchs    atomic.Int64
+	blocked  atomic.Bool // parked in the barrier
+	done     atomic.Bool // body returned, panicked, or vanished
+	vanished atomic.Bool
 }
 
 type inbox struct {
@@ -99,7 +114,10 @@ type inbox struct {
 // delivery is one in-flight payload. Off-node payloads are framed:
 // length, CRC and a per-(sender,receiver) sequence number travel with
 // the copied bytes, and the receiver validates all three before
-// handing the data to decode.
+// handing the data to decode. The phase tag keeps a fast sender's
+// next-phase deliveries out of a slow receiver's current collection;
+// the barrier keeps any rank at most one phase ahead, so an inbox
+// holds deliveries from at most two adjacent phases.
 type delivery struct {
 	from    int
 	data    []byte
@@ -107,14 +125,42 @@ type delivery struct {
 	wantLen int
 	crc     uint32
 	seq     int64
+	phase   int64
 }
+
+// freeListCap bounds the per-rank buffer and reader free lists; arrays
+// past the cap are dropped to the garbage collector so one-directional
+// traffic cannot grow a receiver's pool without bound.
+const freeListCap = 32
 
 // Ctx is one rank's view of the run. A Ctx must only be used by the
 // goroutine it was handed to.
 type Ctx struct {
 	w    *World
 	rank int
-	out  map[int]*Buffer
+
+	// Sparse peer table: bufs[p] is the packing buffer permanently
+	// assigned to peer p (To returns the same *Buffer every phase), and
+	// act lists the peers activated in the current phase. Replaces the
+	// per-phase map so steady-state packing does not allocate.
+	bufs []*Buffer
+	act  []int
+
+	// free and freeRd recycle payload arrays and Readers: Reader.Done
+	// returns both to the receiving rank's lists, and To/Exchange grab
+	// from them, so steady-state phases are allocation-free.
+	free   [][]byte
+	freeRd []*Reader
+
+	// arrived and msgs are collection scratch reused across phases. The
+	// []Message returned by Exchange aliases msgs and is valid until
+	// the next Exchange.
+	arrived []delivery
+	msgs    []Message
+
+	// phase counts this rank's exchanges; all ranks agree on it because
+	// Exchange is collective.
+	phase int64
 
 	// pendingFault is a message-level fault armed by beginOp for the
 	// current Exchange and applied to each off-node send.
@@ -123,8 +169,8 @@ type Ctx struct {
 	// the current op and must cross-check after the next wait.
 	sanPending bool
 	// sendSeq/recvSeq track off-node frame sequence numbers per peer.
-	sendSeq map[int]int64
-	recvSeq map[int]int64
+	sendSeq []int64
+	recvSeq []int64
 }
 
 // worlds tracks the active runs so AbortAll can tear them down.
@@ -179,6 +225,10 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 		slots:   make([]any, n),
 		inboxes: make([]inbox, n),
 		ranks:   make([]rankState, n),
+		shards:  make([]*perf.Shard, n),
+	}
+	for i := range w.shards {
+		w.shards[i] = w.counters.NewShard()
 	}
 	if opt.Sanitize || defaultSanitize.Load() {
 		w.san = newSanState(n)
@@ -207,11 +257,9 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 				if p := recover(); p != nil {
 					errs[rank] = w.classify(rank, rs, p)
 				}
-				rs.mu.Lock()
-				rs.done = true
-				rs.blocked = false
-				rs.op = ""
-				rs.mu.Unlock()
+				rs.done.Store(true)
+				rs.blocked.Store(false)
+				rs.op.Store(&opNone)
 			}()
 			errs[rank] = body(&Ctx{w: w, rank: rank})
 		}(r)
@@ -235,9 +283,7 @@ func (w *World) classify(rank int, rs *rankState, p any) error {
 	if _, ok := p.(vanishSignal); ok {
 		// The rank disappears without teardown; its peers deadlock and
 		// the watchdog reports the stall.
-		rs.mu.Lock()
-		rs.vanished = true
-		rs.mu.Unlock()
+		rs.vanished.Store(true)
 		return nil
 	}
 	err, ok := p.(error)
@@ -315,25 +361,25 @@ func (c *Ctx) NodePeers() []int {
 	return c.w.topo.NodeRanks(c.Node(), c.w.size)
 }
 
-// Counters returns the run-wide performance counters.
-func (c *Ctx) Counters() *perf.Counters { return &c.w.counters }
+// Counters returns this rank's shard of the run-wide performance
+// counters. Accumulation is lock-free and rank-local; reads (Count,
+// Elapsed, Report) merge every rank's shard.
+func (c *Ctx) Counters() *perf.Shard { return c.w.shards[c.rank] }
 
 // Stats returns a snapshot of the run-wide traffic counters.
 func (c *Ctx) Stats() Stats { return c.w.Stats() }
 
 // beginOp records entry into a blocking operation and injects any fault
 // the plan schedules for this rank at this op index.
-func (c *Ctx) beginOp(name string, isExchange bool) {
+func (c *Ctx) beginOp(name *string, isExchange bool) {
 	rs := &c.w.ranks[c.rank]
-	rs.mu.Lock()
-	rs.op = name
+	rs.op.Store(name)
+	var op int64
 	if isExchange {
-		rs.exchs++
+		op = rs.exchs.Add(1) + rs.colls.Load()
 	} else {
-		rs.colls++
+		op = rs.colls.Add(1) + rs.exchs.Load()
 	}
-	op := rs.colls + rs.exchs
-	rs.mu.Unlock()
 	f := c.w.faults.find(c.rank, op)
 	if f == nil {
 		return
@@ -356,39 +402,28 @@ func (c *Ctx) beginOp(name string, isExchange bool) {
 // workload once and then aim faults at exact phases of a later run.
 func (c *Ctx) Ops() int64 {
 	rs := &c.w.ranks[c.rank]
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	return rs.colls + rs.exchs
+	return rs.colls.Load() + rs.exchs.Load()
 }
 
 // endOp records leaving a blocking operation.
 func (c *Ctx) endOp() {
-	rs := &c.w.ranks[c.rank]
-	rs.mu.Lock()
-	rs.op = ""
-	rs.mu.Unlock()
+	c.w.ranks[c.rank].op.Store(&opNone)
 }
 
 // collStart is beginOp for collectives, also bumping the traffic stat
 // and recording the op in the sanitizer shadow log.
-func (c *Ctx) collStart(name string) {
+func (c *Ctx) collStart(name *string) {
 	c.w.colls.Add(1)
 	c.beginOp(name, false)
-	c.sanRecord(name, 0)
+	c.sanRecord(*name, 0)
 }
 
 // wait parks in the shared barrier, flagging the rank as blocked so the
 // watchdog can tell waiting from computing.
 func (c *Ctx) wait() {
 	rs := &c.w.ranks[c.rank]
-	rs.mu.Lock()
-	rs.blocked = true
-	rs.mu.Unlock()
-	defer func() {
-		rs.mu.Lock()
-		rs.blocked = false
-		rs.mu.Unlock()
-	}()
+	rs.blocked.Store(true)
+	defer rs.blocked.Store(false)
 	c.w.bar.wait()
 	if c.sanPending {
 		// First wait of a sanitized op: every rank has published its
@@ -399,20 +434,68 @@ func (c *Ctx) wait() {
 	}
 }
 
+// grabBuf pops a recycled payload array (length zero, capacity grown by
+// earlier phases) or returns nil, letting append allocate.
+func (c *Ctx) grabBuf() []byte {
+	if n := len(c.free); n > 0 {
+		b := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+// releaseBuf returns a payload array to this rank's free list.
+func (c *Ctx) releaseBuf(b []byte) {
+	if cap(b) == 0 || len(c.free) >= freeListCap {
+		return
+	}
+	c.free = append(c.free, b[:0])
+}
+
+// releaseReader recycles a fully-consumed pooled Reader struct.
+func (c *Ctx) releaseReader(r *Reader) {
+	if len(c.freeRd) < freeListCap {
+		c.freeRd = append(c.freeRd, r)
+	}
+}
+
+// pooledReader wraps data in a Reader owned by this rank: its Done
+// recycles both the struct and the data array.
+func (c *Ctx) pooledReader(data []byte) *Reader {
+	if n := len(c.freeRd); n > 0 {
+		r := c.freeRd[n-1]
+		c.freeRd[n-1] = nil
+		c.freeRd = c.freeRd[:n-1]
+		*r = Reader{data: data, owner: c}
+		return r
+	}
+	return &Reader{data: data, owner: c}
+}
+
 // To returns the packing buffer for the given peer in the current
-// communication phase, creating it on first use. Packing to oneself is
-// allowed and delivered locally.
+// communication phase. Each peer has one permanently-assigned buffer:
+// the first To of a phase unseals it and attaches a pooled backing
+// array; Exchange seals it again when it delivers. Packing to oneself
+// is allowed and delivered locally.
 func (c *Ctx) To(peer int) *Buffer {
 	if peer < 0 || peer >= c.w.size {
 		panic(fmt.Sprintf("pcu: rank %d packed to invalid peer %d", c.rank, peer))
 	}
-	if c.out == nil {
-		c.out = make(map[int]*Buffer)
+	if c.bufs == nil {
+		c.bufs = make([]*Buffer, c.w.size)
 	}
-	b := c.out[peer]
+	b := c.bufs[peer]
 	if b == nil {
 		b = &Buffer{}
-		c.out[peer] = b
+		c.bufs[peer] = b
+	}
+	if !b.active {
+		b.active = true
+		b.sealed = false
+		b.buf = c.grabBuf()
+		c.act = append(c.act, peer)
 	}
 	return b
 }
@@ -430,44 +513,52 @@ func (c *Ctx) deliver(p int, d delivery) {
 // its peers are returned, sorted by sending rank. All ranks must call
 // Exchange the same number of times (it is collective).
 //
+// The returned messages, their Readers, and any byte slices decoded
+// from them without copying are valid until this rank's next Exchange
+// or until Reader.Done, whichever comes first: Done recycles the
+// message's backing array into this rank's buffer pool.
+//
 // Off-node payloads are framed with length, CRC32 and a per-pair
 // sequence number; a frame failing validation is still returned, but
 // its Reader surfaces a structured *CorruptError (wrapping
 // ErrCorruptMessage) on first use instead of decoding garbage.
 func (c *Ctx) Exchange() []Message {
-	c.beginOp("exchange", true)
+	c.beginOp(&opExchange, true)
 	defer c.endOp()
 	// Deliver in sorted peer order for determinism.
-	peers := make([]int, 0, len(c.out))
-	for p := range c.out {
-		peers = append(peers, p)
-	}
-	sort.Ints(peers)
+	slices.Sort(c.act)
 	if c.w.san != nil {
-		c.sanRecord("exchange", c.sanExchangeDetail(peers))
+		c.sanRecord(opExchange, c.sanExchangeDetail(c.act))
 	}
-	for _, p := range peers {
-		b := c.out[p]
+	phase := c.phase
+	c.phase++
+	for _, p := range c.act {
+		b := c.bufs[p]
 		data := b.buf
 		// The receiver may get these bytes by reference; writing to the
 		// buffer after this point would race with the receiver's decode,
-		// so further pack calls panic.
+		// so further pack calls panic until the next To.
 		b.seal()
+		b.active = false
+		b.buf = nil
 		if c.SameNode(p) {
-			// Shared memory: hand the buffer over by reference.
+			// Shared memory: hand the buffer over by reference. The
+			// array's ownership moves to the receiver, whose Reader.Done
+			// recycles it into the receiver's pool.
 			c.w.onMsgs.Add(1)
 			c.w.onBytes.Add(int64(len(data)))
-			c.deliver(p, delivery{from: c.rank, data: data})
+			c.deliver(p, delivery{from: c.rank, data: data, phase: phase})
 			continue
 		}
 		// Distributed memory: the payload crosses the network, so it is
-		// copied, like an NIC transfer, and framed for validation.
+		// copied, like an NIC transfer, and framed for validation. The
+		// sender keeps its own array for the next phase.
 		c.w.offMsgs.Add(1)
 		c.w.offBytes.Add(int64(len(data)))
-		cp := make([]byte, len(data))
-		copy(cp, data)
+		cp := append(c.grabBuf(), data...)
+		c.releaseBuf(data)
 		if c.sendSeq == nil {
-			c.sendSeq = make(map[int]int64)
+			c.sendSeq = make([]int64, c.w.size)
 		}
 		c.sendSeq[p]++
 		d := delivery{
@@ -477,6 +568,7 @@ func (c *Ctx) Exchange() []Message {
 			wantLen: len(cp),
 			crc:     crc32.ChecksumIEEE(cp),
 			seq:     c.sendSeq[p],
+			phase:   phase,
 		}
 		if f := c.pendingFault; f != nil {
 			switch f.Kind {
@@ -494,24 +586,43 @@ func (c *Ctx) Exchange() []Message {
 		}
 		c.deliver(p, d)
 	}
-	c.out = nil
+	c.act = c.act[:0]
 	c.pendingFault = nil
+	// One global barrier: after it, every rank has delivered its phase,
+	// so this rank's inbox holds everything addressed to it. There is no
+	// second barrier — a fast rank may deliver its *next* phase before a
+	// slow rank collects, but the phase tag keeps those deliveries out
+	// of the current collection, so a sparse phase costs its neighbors
+	// plus one synchronization instead of two.
 	c.wait()
 	ib := &c.w.inboxes[c.rank]
 	ib.mu.Lock()
-	arrived := ib.msgs
-	ib.msgs = nil
+	arrived := c.arrived[:0]
+	keep := ib.msgs[:0]
+	for _, d := range ib.msgs {
+		if d.phase == phase {
+			arrived = append(arrived, d)
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	ib.msgs = keep
 	ib.mu.Unlock()
+	c.arrived = arrived
 	// Stable sort: frames from one sender keep their send order, which
 	// the duplicate-detection sequence check depends on.
-	sort.SliceStable(arrived, func(i, j int) bool { return arrived[i].from < arrived[j].from })
-	mine := make([]Message, len(arrived))
-	for i, d := range arrived {
-		mine[i] = c.accept(d)
+	slices.SortStableFunc(arrived, func(a, b delivery) int { return a.from - b.from })
+	mine := c.msgs[:0]
+	for _, d := range arrived {
+		mine = append(mine, c.accept(d))
 	}
-	// Second barrier: no rank may start delivering the next phase while
-	// another rank has not yet collected this phase's inbox.
-	c.wait()
+	c.msgs = mine
+	if c.w.san != nil {
+		// Sanitized runs keep the second barrier so every op spans
+		// exactly two waits: a fast rank must not overwrite its
+		// published shadow slot before a slow rank has checked it.
+		c.wait()
+	}
 	return mine
 }
 
@@ -521,10 +632,10 @@ func (c *Ctx) Exchange() []Message {
 // skipped.
 func (c *Ctx) accept(d delivery) Message {
 	if !d.framed {
-		return Message{From: d.from, Data: NewReader(d.data)}
+		return Message{From: d.from, Data: c.pooledReader(d.data)}
 	}
 	if c.recvSeq == nil {
-		c.recvSeq = make(map[int]int64)
+		c.recvSeq = make([]int64, c.w.size)
 	}
 	corrupt := func(reason string) Message {
 		return Message{From: d.from, Data: failedReader(&CorruptError{
@@ -547,12 +658,12 @@ func (c *Ctx) accept(d delivery) Message {
 	if crc32.ChecksumIEEE(d.data) != d.crc {
 		return corrupt("CRC mismatch")
 	}
-	return Message{From: d.from, Data: NewReader(d.data)}
+	return Message{From: d.from, Data: c.pooledReader(d.data)}
 }
 
 // Barrier blocks until all ranks have called it.
 func (c *Ctx) Barrier() {
-	c.collStart("barrier")
+	c.collStart(&opBarrier)
 	defer c.endOp()
 	c.wait()
 	if c.w.san != nil {

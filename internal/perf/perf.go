@@ -2,6 +2,14 @@
 // PUMI's parallel control utilities: named wall-clock timers, event
 // counters, and process memory snapshots. All operations are safe for
 // concurrent use by rank goroutines.
+//
+// Two accumulation paths exist. The zero-value Counters works alone,
+// serializing every update on one mutex. For hot paths, NewShard hands
+// out per-rank shards: a shard accumulates into atomic cells with no
+// locking and no cross-rank cache contention, and the parent's read
+// methods (Count, Elapsed, Report) merge every shard on demand. Reads
+// are therefore exact only at quiescent points (after a run's ranks
+// have joined), which is when the paper's tools report them.
 package perf
 
 import (
@@ -10,33 +18,90 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counters aggregates named timers and counts. The zero value is ready
-// to use.
+// to use. Reads merge any shards created with NewShard.
 type Counters struct {
 	mu     sync.Mutex
 	timers map[string]time.Duration
 	counts map[string]int64
+	shards []*Shard
+}
+
+// Shard is one rank's lock-free accumulation view of a Counters.
+// Writes (Add, Start/Stop) are owned by a single goroutine — the rank
+// the shard was handed to — and touch only that shard's atomic cells;
+// reads delegate to the parent so every shard's contribution is
+// visible from any rank.
+type Shard struct {
+	parent *Counters
+	// mu guards map growth: the owning rank inserts new names under it,
+	// and mergers read the maps under it. The owner's lookups are
+	// lock-free — it is the only inserter, so its own reads can never
+	// race an insert.
+	mu     sync.Mutex
+	timers map[string]*atomic.Int64 // nanoseconds
+	counts map[string]*atomic.Int64
+}
+
+// NewShard creates and registers a shard. The shard's write methods
+// must be used by one goroutine at a time.
+func (c *Counters) NewShard() *Shard {
+	s := &Shard{
+		parent: c,
+		timers: make(map[string]*atomic.Int64),
+		counts: make(map[string]*atomic.Int64),
+	}
+	c.mu.Lock()
+	c.shards = append(c.shards, s)
+	c.mu.Unlock()
+	return s
+}
+
+// cell returns the named atomic cell, creating it under the shard lock
+// on first use. The fast path is a lock-free map hit.
+func (s *Shard) cell(m map[string]*atomic.Int64, name string) *atomic.Int64 {
+	if v := m[name]; v != nil {
+		return v
+	}
+	v := new(atomic.Int64)
+	s.mu.Lock()
+	m[name] = v
+	s.mu.Unlock()
+	return v
 }
 
 // Timer measures one interval; obtain one from Start and finish it with
 // Stop.
 type Timer struct {
 	c     *Counters
+	s     *Shard
 	name  string
 	begin time.Time
 }
 
-// Start begins timing the named interval.
+// Start begins timing the named interval, accumulating on the shared
+// mutex path.
 func (c *Counters) Start(name string) Timer {
 	return Timer{c: c, name: name, begin: time.Now()}
+}
+
+// Start begins timing the named interval, accumulating lock-free into
+// this shard.
+func (s *Shard) Start(name string) Timer {
+	return Timer{s: s, name: name, begin: time.Now()}
 }
 
 // Stop ends the interval and accumulates it, returning the elapsed time.
 func (t Timer) Stop() time.Duration {
 	d := time.Since(t.begin)
+	if t.s != nil {
+		t.s.cell(t.s.timers, t.name).Add(int64(d))
+		return d
+	}
 	t.c.mu.Lock()
 	if t.c.timers == nil {
 		t.c.timers = make(map[string]time.Duration)
@@ -56,48 +121,121 @@ func (c *Counters) Add(name string, n int64) {
 	c.mu.Unlock()
 }
 
+// Add increments the named counter by n, lock-free.
+func (s *Shard) Add(name string, n int64) {
+	s.cell(s.counts, name).Add(n)
+}
+
+// Count returns the value of the named counter, merged across the
+// parent's shards.
+func (s *Shard) Count(name string) int64 { return s.parent.Count(name) }
+
+// Elapsed returns the accumulated duration of the named timer, merged
+// across the parent's shards.
+func (s *Shard) Elapsed(name string) time.Duration { return s.parent.Elapsed(name) }
+
+// Report renders the merged timers and counters of the parent.
+func (s *Shard) Report() string { return s.parent.Report() }
+
+// Reset clears the parent and all its shards.
+func (s *Shard) Reset() { s.parent.Reset() }
+
+// Merged returns the parent Counters this shard accumulates into.
+func (s *Shard) Merged() *Counters { return s.parent }
+
 // Count returns the value of the named counter.
 func (c *Counters) Count(name string) int64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counts[name]
+	total := c.counts[name]
+	shards := c.shards
+	c.mu.Unlock()
+	for _, s := range shards {
+		s.mu.Lock()
+		if v := s.counts[name]; v != nil {
+			total += v.Load()
+		}
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Elapsed returns the accumulated duration of the named timer.
 func (c *Counters) Elapsed(name string) time.Duration {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.timers[name]
+	total := c.timers[name]
+	shards := c.shards
+	c.mu.Unlock()
+	for _, s := range shards {
+		s.mu.Lock()
+		if v := s.timers[name]; v != nil {
+			total += time.Duration(v.Load())
+		}
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Reset clears all timers and counters.
+// Reset clears all timers and counters, including every shard's cells.
+// Shard cells are zeroed in place (not removed) so a concurrent owner
+// keeps accumulating into the same cells.
 func (c *Counters) Reset() {
 	c.mu.Lock()
 	c.timers = nil
 	c.counts = nil
+	shards := c.shards
 	c.mu.Unlock()
+	for _, s := range shards {
+		s.mu.Lock()
+		for _, v := range s.timers {
+			v.Store(0)
+		}
+		for _, v := range s.counts {
+			v.Store(0)
+		}
+		s.mu.Unlock()
+	}
 }
 
-// Report renders all timers and counters, sorted by name, one per line.
+// Report renders all timers and counters, merged across shards and
+// sorted by name, one per line.
 func (c *Counters) Report() string {
+	timers := make(map[string]time.Duration)
+	counts := make(map[string]int64)
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	for n, v := range c.timers {
+		timers[n] += v
+	}
+	for n, v := range c.counts {
+		counts[n] += v
+	}
+	shards := c.shards
+	c.mu.Unlock()
+	for _, s := range shards {
+		s.mu.Lock()
+		for n, v := range s.timers {
+			timers[n] += time.Duration(v.Load())
+		}
+		for n, v := range s.counts {
+			counts[n] += v.Load()
+		}
+		s.mu.Unlock()
+	}
 	var names []string
-	for n := range c.timers {
+	for n := range timers {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
-		fmt.Fprintf(&b, "timer %-30s %12.6fs\n", n, c.timers[n].Seconds())
+		fmt.Fprintf(&b, "timer %-30s %12.6fs\n", n, timers[n].Seconds())
 	}
 	names = names[:0]
-	for n := range c.counts {
+	for n := range counts {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&b, "count %-30s %12d\n", n, c.counts[n])
+		fmt.Fprintf(&b, "count %-30s %12d\n", n, counts[n])
 	}
 	return b.String()
 }
