@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet chaos san-smoke check
+.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet chaos san-smoke trace-smoke check
 
 all: build
 
@@ -14,10 +14,12 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Regenerate the committed machine-readable benchmark results
-# (BENCH_pr4.json reflects the current tree; BENCH_baseline.json is the
-# frozen pre-overhaul reference — do not regenerate it).
+# (BENCH_pr5.json reflects the current tree; BENCH_baseline.json is the
+# frozen pre-overhaul reference — do not regenerate it). The /traced
+# rows measure the same exchange with the flight recorder armed, so the
+# file documents the tracing overhead (see DESIGN.md §10).
 bench:
-	$(GO) run ./cmd/pumi-bench -json BENCH_pr4.json
+	$(GO) run ./cmd/pumi-bench -json BENCH_pr5.json
 
 # Go micro-benchmarks, benchstat-ready:
 #   make bench-go | benchstat -
@@ -51,5 +53,13 @@ chaos:
 san-smoke:
 	$(GO) test -race -count=1 -run 'TestSoakSanitized|TestSanitized' ./internal/chaos/ ./internal/partition/
 
+# Traced smoke: the hybrid exchange sweep (in-process worlds up to 32
+# ranks) under pumi-san with the flight recorder armed, then both
+# emitted files — Chrome timeline and metrics summary — schema-validated
+# by pumi-trace (see DESIGN.md §10).
+trace-smoke:
+	$(GO) run ./cmd/pumi-bench -exp hybrid -san -trace /tmp/pumi-trace-smoke.json
+	$(GO) run ./cmd/pumi-trace -validate /tmp/pumi-trace-smoke.json /tmp/pumi-trace-smoke.summary.json
+
 # The full local gate: what CI runs.
-check: vet pumi-vet build test race chaos san-smoke bench-smoke
+check: vet pumi-vet build test race chaos san-smoke trace-smoke bench-smoke

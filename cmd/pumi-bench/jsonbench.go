@@ -25,6 +25,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/meshgen"
 	"github.com/fastmath/pumi-go/internal/partition"
 	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/trace"
 	"github.com/fastmath/pumi-go/internal/zpart"
 )
 
@@ -39,9 +40,9 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 
-	OnNodeMsgsPerOp  float64 `json:"on_node_msgs_per_op,omitempty"`
-	OffNodeMsgsPerOp float64 `json:"off_node_msgs_per_op,omitempty"`
-	OnNodeBytesPerOp float64 `json:"on_node_bytes_per_op,omitempty"`
+	OnNodeMsgsPerOp   float64 `json:"on_node_msgs_per_op,omitempty"`
+	OffNodeMsgsPerOp  float64 `json:"off_node_msgs_per_op,omitempty"`
+	OnNodeBytesPerOp  float64 `json:"on_node_bytes_per_op,omitempty"`
 	OffNodeBytesPerOp float64 `json:"off_node_bytes_per_op,omitempty"`
 }
 
@@ -55,10 +56,10 @@ type benchDoc struct {
 }
 
 const (
-	packN         = 4096
-	exchangeRanks = 8
+	packN           = 4096
+	exchangeRanks   = 8
 	exchangePayload = 1024
-	probePhases   = 64
+	probePhases     = 64
 )
 
 // runJSONBench runs the suite and writes the document to path ("-" for
@@ -88,9 +89,17 @@ func runJSONBench(path string) {
 			probe: probeExchange(hwtopo.Cluster(1, exchangeRanks), false),
 		},
 		{
+			name: "exchange/sparse/on-node/traced", setBytes: 2 * exchangePayload,
+			fn: benchExchangeTraced(hwtopo.Cluster(1, exchangeRanks), false),
+		},
+		{
 			name: "exchange/sparse/off-node", setBytes: 2 * exchangePayload,
 			fn:    benchExchange(hwtopo.Cluster(exchangeRanks, 1), false),
 			probe: probeExchange(hwtopo.Cluster(exchangeRanks, 1), false),
+		},
+		{
+			name: "exchange/sparse/off-node/traced", setBytes: 2 * exchangePayload,
+			fn: benchExchangeTraced(hwtopo.Cluster(exchangeRanks, 1), false),
 		},
 		{
 			name: "exchange/dense/on-node", setBytes: exchangeRanks * exchangePayload,
@@ -104,7 +113,8 @@ func runJSONBench(path string) {
 		},
 		{name: "collective/allreduce/ranks=8", fn: benchAllreduce},
 		{name: "counters/add/ranks=8", fn: benchCounters},
-		{name: "migrate/box10/ranks=4", fn: benchMigrateOnce},
+		{name: "migrate/box10/ranks=4", fn: benchMigrateOnce(false)},
+		{name: "migrate/box10/ranks=4/traced", fn: benchMigrateOnce(true)},
 	}
 	for _, e := range suite {
 		fn := e.fn
@@ -247,13 +257,27 @@ func benchUnpackScalars(b *testing.B) {
 // exchanges, and fully decodes what arrived. All b.N phases run inside
 // one spawned world so goroutine startup is amortized away.
 func benchExchange(topo hwtopo.Topology, dense bool) func(b *testing.B) {
+	return benchExchangeOpt(pcu.Options{Topo: topo, StallTimeout: -1}, dense)
+}
+
+// benchExchangeTraced is the same workload with the flight recorder
+// armed, so the committed benchmark file documents the tracing overhead
+// (the /traced row vs its plain sibling) on both delivery classes.
+func benchExchangeTraced(topo hwtopo.Topology, dense bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		tr := trace.New(exchangeRanks, trace.Config{})
+		benchExchangeOpt(pcu.Options{Topo: topo, StallTimeout: -1, Trace: tr}, dense)(b)
+	}
+}
+
+func benchExchangeOpt(opt pcu.Options, dense bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		payload := make([]byte, exchangePayload)
 		for i := range payload {
 			payload[i] = byte(i)
 		}
 		b.ResetTimer()
-		_, err := pcu.RunOpt(exchangeRanks, pcu.Options{Topo: topo, StallTimeout: -1}, func(c *pcu.Ctx) error {
+		_, err := pcu.RunOpt(exchangeRanks, opt, func(c *pcu.Ctx) error {
 			next := (c.Rank() + 1) % c.Size()
 			prev := (c.Rank() + c.Size() - 1) % c.Size()
 			for i := 0; i < b.N; i++ {
@@ -351,31 +375,45 @@ func benchCounters(b *testing.B) {
 }
 
 // benchMigrateOnce is the end-to-end row: distribute a serial box mesh
-// onto 4 ranks by RCB, once per op.
-func benchMigrateOnce(b *testing.B) {
-	model := gmi.Box(1, 1, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		err := pcu.Run(4, func(ctx *pcu.Ctx) error {
-			var serial *mesh.Mesh
-			if ctx.Rank() == 0 {
-				serial = meshgen.Box3D(model, 10, 10, 10)
+// onto 4 ranks by RCB, once per op. The traced variant runs the same
+// migration with the flight recorder armed — the overhead comparison at
+// realistic phase granularity, where spans last milliseconds rather
+// than the microseconds of the exchange microbenchmark.
+func benchMigrateOnce(traced bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		model := gmi.Box(1, 1, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var opt pcu.Options
+			if traced {
+				opt.Trace = trace.New(4, trace.Config{})
 			}
-			dm := partition.Adopt(ctx, model.Model, 3, serial, 1)
-			var plan map[mesh.Ent]int32
-			if ctx.Rank() == 0 {
-				in, els := zpart.Centroids(serial)
-				assign := zpart.RCB(in, 4)
-				plan = map[mesh.Ent]int32{}
-				for j, el := range els {
-					plan[el] = assign[j]
-				}
+			err := migrateRun(model, opt)
+			if err != nil {
+				cmdutil.Fail(err)
 			}
-			partition.Migrate(dm, partition.PlansFromAssignment(dm, plan))
-			return nil
-		})
-		if err != nil {
-			cmdutil.Fail(err)
 		}
 	}
+}
+
+func migrateRun(model *gmi.BoxModel, opt pcu.Options) error {
+	_, err := pcu.RunOpt(4, opt, func(ctx *pcu.Ctx) error {
+		var serial *mesh.Mesh
+		if ctx.Rank() == 0 {
+			serial = meshgen.Box3D(model, 10, 10, 10)
+		}
+		dm := partition.Adopt(ctx, model.Model, 3, serial, 1)
+		var plan map[mesh.Ent]int32
+		if ctx.Rank() == 0 {
+			in, els := zpart.Centroids(serial)
+			assign := zpart.RCB(in, 4)
+			plan = map[mesh.Ent]int32{}
+			for j, el := range els {
+				plan[el] = assign[j]
+			}
+		}
+		partition.Migrate(dm, partition.PlansFromAssignment(dm, plan))
+		return nil
+	})
+	return err
 }

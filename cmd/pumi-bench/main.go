@@ -37,8 +37,10 @@ func main() {
 	chaosDir := flag.String("chaos-dir", "", "checkpoint directory for -chaos (default a temp dir)")
 	jsonOut := flag.String("json", "", "run the PCU microbenchmark suite instead of experiments and write machine-readable results to FILE ('-' for stdout)")
 	sanitize := flag.Bool("san", false, "run everything under pumi-san: cross-check collective schedules across ranks, enforce owner-only mesh writes, and print the op-sequence hash at exit")
+	tracePath := flag.String("trace", "", cmdutil.TraceUsage)
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
+	defer cmdutil.StartTrace(*tracePath)()
 	if *sanitize {
 		san.Enable()
 		pcu.SetDefaultSanitize(true)
@@ -162,7 +164,6 @@ func main() {
 		fmt.Print(experiments.FormatLocalSplit(res))
 	}
 	sanReport(*sanitize)
-	os.Exit(0)
 }
 
 // sanReport prints the pumi-san ledger when -san was given: the number

@@ -34,8 +34,10 @@ func main() {
 	out := flag.String("o", "", "output assignment file (optional)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts the run")
 	sanitize := flag.Bool("san", false, "after partitioning, distribute the assignment across in-process ranks and verify the distributed mesh under pumi-san")
+	tracePath := flag.String("trace", "", cmdutil.TraceUsage)
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
+	defer cmdutil.StartTrace(*tracePath)()
 	if *meshFile == "" {
 		cmdutil.Usagef("-mesh is required")
 	}

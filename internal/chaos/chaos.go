@@ -22,7 +22,12 @@ import (
 	"github.com/fastmath/pumi-go/internal/partition"
 	"github.com/fastmath/pumi-go/internal/pcu"
 	"github.com/fastmath/pumi-go/internal/san"
+	"github.com/fastmath/pumi-go/internal/trace"
 )
+
+// timelineTail is how many flight-recorder events per rank a failed
+// attempt's Outcome.Timeline carries.
+const timelineTail = 8
 
 // Config parameterizes one soak run.
 type Config struct {
@@ -52,6 +57,11 @@ type Config struct {
 	// schedule is cross-checked at every sync point and mesh writes go
 	// through the ownership guard.
 	Sanitize bool
+	// Trace records the faulted attempt with the flight recorder; when
+	// the attempt fails, Outcome.Timeline carries each rank's event tail
+	// so a failure report shows what led up to it, not just the final
+	// error.
+	Trace bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -69,6 +79,10 @@ type Outcome struct {
 	Restarted bool
 	Restored  bool
 	FinalImb  float64 // peak element imbalance of the surviving mesh
+	// Timeline holds each rank's flight-recorder tail from the faulted
+	// attempt (one rendered line per rank) when Config.Trace was on and
+	// the attempt failed.
+	Timeline []string
 }
 
 func (o Outcome) String() string {
@@ -129,11 +143,16 @@ func Soak(cfg Config) (Outcome, error) {
 		san.Enable()
 		defer san.Disable()
 	}
+	var tr *trace.Trace
+	if cfg.Trace {
+		tr = trace.New(cfg.Ranks, trace.Config{})
+	}
 	_, err := pcu.RunOpt(cfg.Ranks, pcu.Options{
 		Topo:         topo,
 		Faults:       plan,
 		StallTimeout: cfg.StallTimeout,
 		Sanitize:     cfg.Sanitize,
+		Trace:        tr,
 	}, func(ctx *pcu.Ctx) error {
 		dm, err := buildUnbalanced(ctx, cfg)
 		if err != nil {
@@ -154,6 +173,7 @@ func Soak(cfg Config) (Outcome, error) {
 	}
 	out.RunErr = err.Error()
 	out.FailKind = classifyFailure(err)
+	out.Timeline = tr.TailStrings(timelineTail)
 	if out.FailKind == "" {
 		return out, fmt.Errorf("chaos: seed %d produced an unclassifiable failure: %w", cfg.Seed, err)
 	}

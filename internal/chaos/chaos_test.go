@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -90,4 +91,44 @@ func TestSoakDeterministic(t *testing.T) {
 	if a.FailKind != "stall" && a.RunErr != b.RunErr {
 		t.Fatalf("error text not reproducible:\n  %q\n  %q", a.RunErr, b.RunErr)
 	}
+}
+
+// TestSoakTracedTimeline runs seeds under the flight recorder until one
+// fails and checks the Outcome carries a per-rank timeline of the
+// events leading up to the failure — the chaos analogue of the
+// watchdog's StallError trails.
+func TestSoakTracedTimeline(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		out, err := Soak(Config{
+			Seed:         seed,
+			Dir:          t.TempDir(),
+			StallTimeout: 20 * time.Second,
+			Trace:        true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: harness failure: %v", seed, err)
+		}
+		if out.CleanRun {
+			if out.Timeline != nil {
+				t.Fatalf("seed %d: clean run should not attach a timeline", seed)
+			}
+			continue
+		}
+		if len(out.Timeline) == 0 {
+			t.Fatalf("seed %d: failed traced attempt (%s) has no timeline", seed, out.FailKind)
+		}
+		for r, line := range out.Timeline {
+			if !strings.Contains(line, "rank ") {
+				t.Errorf("seed %d: timeline line %d %q not rank-labelled", seed, r, line)
+			}
+		}
+		// The faulted attempt's last recorded ops must appear: every
+		// failing plan strikes inside a collective or exchange window.
+		joined := strings.Join(out.Timeline, "\n")
+		if !strings.Contains(joined, "{") && !strings.Contains(joined, "fault") {
+			t.Errorf("seed %d: timeline names no operations or faults:\n%s", seed, joined)
+		}
+		return // one failing seed is the point; keep the test fast
+	}
+	t.Fatal("no seed in 1..8 produced a failure; widen the seed range")
 }

@@ -120,8 +120,9 @@ type funcKey struct {
 // matching by suffix keeps the analyzers independent of the module
 // name.
 const (
-	pcuPkg  = "internal/pcu"
-	meshPkg = "internal/mesh"
+	pcuPkg   = "internal/pcu"
+	meshPkg  = "internal/mesh"
+	tracePkg = "internal/trace"
 )
 
 // builtinCollectives are the PCU entry points every rank must reach

@@ -61,6 +61,21 @@ func badAliasEscape(c *pcu.Ctx) [][]byte {
 	return keep
 }
 
+func badAttachAliasVar(c *pcu.Ctx) {
+	for _, m := range c.Exchange() {
+		v := m.Data.BytesVal()
+		c.Trace().Attach("payload", v) // want `retained by the trace ring`
+		m.Data.Done()
+	}
+}
+
+func badAttachDirect(c *pcu.Ctx) {
+	for _, m := range c.Exchange() {
+		c.Trace().Attach("payload", m.Data.BytesNoCopy()) // want `retained by the trace ring`
+		m.Data.Done()
+	}
+}
+
 func badResetDelivered(c *pcu.Ctx, peer int) {
 	b := c.To(peer)
 	b.Int64s([]int64{1, 2})

@@ -225,6 +225,8 @@ type saveReport struct {
 // not checkpointable; remove them first.
 func SaveCheckpoint(dir string, dm *partition.DMesh, cur Cursor) error {
 	ctx := dm.Ctx
+	ctx.Trace().Begin("checkpoint.save")
+	defer ctx.Trace().End("checkpoint.save")
 	var seq int64 = 1
 	if ctx.Rank() == 0 {
 		if man, err := readManifest(dir); err == nil {
@@ -348,6 +350,8 @@ func cleanupStale(dir string, man *checkpointManifest) {
 // the same result on every rank: the restored mesh passes
 // partition.Verify, and the cursor tells the caller where to resume.
 func LoadCheckpoint(dir string, ctx *pcu.Ctx, model *gmi.Model) (*partition.DMesh, Cursor, error) {
+	ctx.Trace().Begin("checkpoint.load")
+	defer ctx.Trace().End("checkpoint.load")
 	man, localErr := readManifest(dir)
 	if err := gatherErrors(ctx, localErr, "loading checkpoint manifest"); err != nil {
 		return nil, Cursor{}, err

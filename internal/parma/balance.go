@@ -81,6 +81,8 @@ func Balance(dm *partition.DMesh, pri Priority, cfg Config) Result {
 func BalanceSafe(dm *partition.DMesh, pri Priority, cfg Config) (Result, error) {
 	t := dm.Ctx.Counters().Start("parma.balance")
 	defer t.Stop()
+	dm.Ctx.Trace().Begin("parma.balance")
+	defer dm.Ctx.Trace().End("parma.balance")
 	start := time.Now()
 	res := Result{Priority: pri}
 	for li, level := range pri {
@@ -99,6 +101,7 @@ func BalanceSafe(dm *partition.DMesh, pri Priority, cfg Config) (Result, error) 
 
 func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (LevelResult, error) {
 	lr := LevelResult{Dim: t}
+	tr := dm.Ctx.Trace()
 	higher := pri.guarded(li, t)
 	best := 0.0
 	stale := 0
@@ -112,6 +115,9 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (Level
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		counts := gatherAll(dm)
 		mean, imb := partition.Imbalance(counts[t])
+		// Every rank records the same allreduced imbalance, so the
+		// summary's imbalance-vs-iteration series can come from any rank.
+		tr.ParmaIter(t, iter, imb)
 		if iter == 0 {
 			lr.Before, lr.MeanBefore = imb, mean
 			best = imb
@@ -137,6 +143,10 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (Level
 				break
 			}
 		}
+		// The iteration span covers plan construction, migration and the
+		// checkpoint hook; its args carry the dimension, iteration index
+		// and the imbalance the iteration set out to fix.
+		tr.BeginArgs("parma.iter", int64(t), int64(iter), imb)
 		plans := buildPlans(dm, counts, t, higher, pri, li, cfg)
 		moved := int64(0)
 		for _, p := range plans {
@@ -144,15 +154,18 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (Level
 		}
 		totalMoved := sumAcross(dm, moved)
 		if err := partition.TryMigrate(dm, plans); err != nil {
+			tr.End("parma.iter")
 			lr.Iters = iter
 			return lr, err
 		}
 		lr.Iters = iter + 1
 		if cfg.OnIter != nil {
 			if err := cfg.OnIter(dm, t, iter); err != nil {
+				tr.End("parma.iter")
 				return lr, err
 			}
 		}
+		tr.End("parma.iter")
 		if totalMoved == 0 {
 			// Diffusion stalled; no point iterating further.
 			break

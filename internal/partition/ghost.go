@@ -26,6 +26,8 @@ import (
 func Ghost(dm *DMesh, bridgeDim, layers int) {
 	t := dm.Ctx.Counters().Start("partition.ghost")
 	defer t.Stop()
+	dm.Ctx.Trace().Begin("partition.ghost")
+	defer dm.Ctx.Trace().End("partition.ghost")
 	if bridgeDim < 0 || bridgeDim >= dm.Dim {
 		panic(fmt.Sprintf("partition: bad ghost bridge dimension %d", bridgeDim))
 	}
@@ -243,6 +245,8 @@ func unpackGhosts(dm *DMesh, msg partMsg) {
 // (collective only in that all ranks typically do it together; purely
 // local otherwise).
 func RemoveGhosts(dm *DMesh) {
+	dm.Ctx.Trace().Begin("partition.unghost")
+	defer dm.Ctx.Trace().End("partition.unghost")
 	// Ghosts are owned by their home part; destroying the local copies
 	// is how ghosting ends, so sanctioned for the sanitizer.
 	defer dm.suspendGuards()()

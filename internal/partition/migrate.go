@@ -121,6 +121,9 @@ func Migrate(dm *DMesh, plans []Plan) {
 func TryMigrate(dm *DMesh, plans []Plan) error {
 	t := dm.Ctx.Counters().Start("partition.migrate")
 	defer t.Stop()
+	tr := dm.Ctx.Trace()
+	tr.Begin("partition.migrate")
+	defer tr.End("partition.migrate")
 	d := dm.Dim
 	for _, part := range dm.Parts {
 		if part.nGhosts > 0 {
@@ -278,8 +281,10 @@ func TryMigrate(dm *DMesh, plans []Plan) error {
 	if err := voteAbort(dm, localErr, "staging residence updates"); err != nil {
 		// Nothing has been created or destroyed yet; the vote is the
 		// only cleanup needed.
+		tr.Point("migrate.abort", 1)
 		return err
 	}
+	tr.Point("migrate.residence-voted", 1)
 
 	// Step 3: ship moving elements with closures, grouped per
 	// destination part.
@@ -314,8 +319,12 @@ func TryMigrate(dm *DMesh, plans []Plan) error {
 	})
 	if err := voteAbort(dm, localErr, "shipping element closures"); err != nil {
 		rollbackCreated(dm, created)
+		tr.Point("migrate.abort", 2)
 		return err
 	}
+	// Commit point reached: stage marks 1/2 are the abort votes passed,
+	// mark 3 is the irreversible destroy-and-restitch step starting.
+	tr.Point("migrate.commit", 3)
 
 	// Commit point: every rank has staged and validated its incoming
 	// data. The destructive steps below run only on a unanimous vote.
@@ -439,6 +448,7 @@ func TryMigrate(dm *DMesh, plans []Plan) error {
 		totalMoved += int64(len(dests[i]))
 	}
 	dm.Ctx.Counters().Add("partition.migrated-elements", totalMoved)
+	tr.Point("migrate.moved-elements", totalMoved)
 	return nil
 }
 

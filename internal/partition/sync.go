@@ -13,6 +13,8 @@ import (
 // to keep shared nodal values and global DOF numbers consistent, the
 // way PUMI's apf::synchronize works.
 func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buffer), apply func(p *Part, e mesh.Ent, r *pcu.Reader)) {
+	dm.Ctx.Trace().Begin("partition.sync")
+	defer dm.Ctx.Trace().End("partition.sync")
 	ph := dm.beginPhase()
 	var payload pcu.Buffer // reused across entities; Bytes copies it out
 	for _, part := range dm.Parts {
@@ -52,6 +54,8 @@ func SyncShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buf
 // (e.g. accumulating element contributions to shared nodes in an FE
 // assembly). apply runs on the owning part once per contributing copy.
 func ReduceShared(dm *DMesh, dims []int, pack func(p *Part, e mesh.Ent, b *pcu.Buffer), apply func(p *Part, e mesh.Ent, r *pcu.Reader)) {
+	dm.Ctx.Trace().Begin("partition.reduce")
+	defer dm.Ctx.Trace().End("partition.reduce")
 	ph := dm.beginPhase()
 	var payload pcu.Buffer // reused across entities; Bytes copies it out
 	for _, part := range dm.Parts {

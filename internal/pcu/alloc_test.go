@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/fastmath/pumi-go/internal/hwtopo"
+	"github.com/fastmath/pumi-go/internal/trace"
 )
 
 // Allocation-regression tests: the buffer pool's whole point is that
@@ -108,6 +109,60 @@ func TestExchangeOffNodeSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("off-node steady-state exchange: %.1f allocs/phase, want 0", avg)
+	}
+}
+
+// TestExchangeTracedZeroAlloc repeats the steady-state exchange check
+// with the flight recorder on: every phase emits span, send and decode
+// events into the per-rank rings, and the whole traced cycle must still
+// allocate nothing. This is the acceptance bar for leaving tracing
+// enabled during benchmarks.
+func TestExchangeTracedZeroAlloc(t *testing.T) {
+	allocGate(t)
+	const (
+		ranks  = 4
+		warmup = 8
+		runs   = 100
+	)
+	// Two ranks per node so each phase exercises both the on-node and
+	// the off-node (framed) send instrumentation.
+	topo := hwtopo.Cluster(2, 2)
+	tr := trace.New(ranks, trace.Config{})
+	payload := make([]byte, 256)
+	ints := make([]int32, 64)
+	var avg float64
+	RunOpt(ranks, Options{Topo: topo, StallTimeout: -1, Trace: tr}, func(c *Ctx) error {
+		scratch := make([]int32, 0, len(ints))
+		phase := func() {
+			b := c.To((c.Rank() + 1) % c.Size())
+			b.Bytes(payload)
+			b.Int32s(ints)
+			for _, m := range c.Exchange() {
+				_ = m.Data.BytesNoCopy()
+				scratch = m.Data.AppendInt32s(scratch[:0])
+				m.Data.Done()
+			}
+		}
+		for i := 0; i < warmup; i++ {
+			phase()
+		}
+		if c.Rank() == 0 {
+			avg = testing.AllocsPerRun(runs, phase)
+		} else {
+			for i := 0; i < runs+1; i++ {
+				phase()
+			}
+		}
+		return nil
+	})
+	if avg != 0 {
+		t.Errorf("traced steady-state exchange: %.1f allocs/phase, want 0", avg)
+	}
+	// The recorder must actually have been recording, not compiled out.
+	for r := 0; r < ranks; r++ {
+		if tr.Rank(r).Dropped() == 0 && len(tr.Rank(r).Snapshot()) == 0 {
+			t.Errorf("rank %d recorded no events during a traced run", r)
+		}
 	}
 }
 

@@ -63,6 +63,11 @@ func (r RankSnapshot) describe() string {
 type StallError struct {
 	Reason string
 	Ranks  []RankSnapshot
+	// Trails holds each rank's flight-recorder tail (one rendered line
+	// per rank) when the stalled run was traced: the last operations,
+	// sends and faults leading up to the stall, not just the op each
+	// rank is frozen in. Empty for untraced runs.
+	Trails []string
 }
 
 func (e *StallError) Error() string {
@@ -72,6 +77,13 @@ func (e *StallError) Error() string {
 	for _, r := range e.Ranks {
 		b.WriteString("\n  ")
 		b.WriteString(r.describe())
+	}
+	if len(e.Trails) > 0 {
+		b.WriteString("\n  flight recorder:")
+		for _, t := range e.Trails {
+			b.WriteString("\n    ")
+			b.WriteString(t)
+		}
 	}
 	return b.String()
 }
@@ -183,9 +195,19 @@ func (w *World) watch(timeout time.Duration, stop chan struct{}) {
 	}
 }
 
+// stallTrail is how many flight-recorder events per rank a stall
+// diagnosis carries: enough to see the phase pattern leading up to the
+// stall without flooding the report.
+const stallTrail = 8
+
 // stall records the diagnosis and releases all blocked ranks by
 // poisoning the barrier with it.
 func (w *World) stall(err *StallError) {
+	if err.Trails == nil {
+		// Safe while ranks still run: each Recorder snapshot locks its
+		// ring against the owning rank's writes.
+		err.Trails = w.tr.TailStrings(stallTrail)
+	}
 	w.stallMu.Lock()
 	if w.stallErr == nil {
 		w.stallErr = err

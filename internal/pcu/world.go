@@ -13,6 +13,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/hwtopo"
 	"github.com/fastmath/pumi-go/internal/perf"
 	"github.com/fastmath/pumi-go/internal/san"
+	"github.com/fastmath/pumi-go/internal/trace"
 )
 
 // ErrPeerFailed is the error a rank observes when another rank panicked
@@ -51,6 +52,12 @@ type Options struct {
 	// fails the run with a *san.DivergenceError naming the first
 	// mismatching op. SetDefaultSanitize turns it on process-wide.
 	Sanitize bool
+	// Trace, when non-nil, records every rank's blocking operations,
+	// deliveries and injected faults into the given flight recorder
+	// (which must be sized for at least the run's rank count). When nil
+	// and a process-wide collector is installed via SetDefaultTrace, the
+	// run records into a fresh trace added to the collector at the end.
+	Trace *trace.Trace
 }
 
 // World holds the shared state of one parallel run: the reusable
@@ -62,7 +69,8 @@ type World struct {
 	topo   hwtopo.Topology
 	bar    barrier
 	faults *FaultPlan
-	san    *sanState // non-nil when the run is sanitized
+	san    *sanState    // non-nil when the run is sanitized
+	tr     *trace.Trace // non-nil when the run is traced
 
 	slots []any // collective scratch, one slot per rank
 
@@ -171,6 +179,10 @@ type Ctx struct {
 	// sendSeq/recvSeq track off-node frame sequence numbers per peer.
 	sendSeq []int64
 	recvSeq []int64
+
+	// tr is this rank's flight recorder (nil when the run is untraced;
+	// Recorder methods are nil-safe).
+	tr *trace.Recorder
 }
 
 // worlds tracks the active runs so AbortAll can tear them down.
@@ -233,6 +245,16 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 	if opt.Sanitize || defaultSanitize.Load() {
 		w.san = newSanState(n)
 	}
+	tr := opt.Trace
+	var col *trace.Collector
+	if tr != nil {
+		if tr.Ranks() < n {
+			return Stats{}, fmt.Errorf("pcu: trace sized for %d ranks, run has %d", tr.Ranks(), n)
+		}
+	} else if col = defaultTracer.Load(); col != nil {
+		tr = trace.New(n, col.Config())
+	}
+	w.tr = tr
 	w.bar.init(n)
 	worlds.Store(w, struct{}{})
 	defer worlds.Delete(w)
@@ -261,11 +283,14 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 				rs.blocked.Store(false)
 				rs.op.Store(&opNone)
 			}()
-			errs[rank] = body(&Ctx{w: w, rank: rank})
+			errs[rank] = body(&Ctx{w: w, rank: rank, tr: tr.Rank(rank)})
 		}(r)
 	}
 	wg.Wait()
 	close(stop)
+	// Collector-owned traces are added even when the run failed: a
+	// failure's timeline is exactly what the trace is for.
+	col.Add(tr)
 	err := w.verdict(errs)
 	if w.san != nil {
 		final := w.san.finish()
@@ -374,6 +399,7 @@ func (c *Ctx) Stats() Stats { return c.w.Stats() }
 func (c *Ctx) beginOp(name *string, isExchange bool) {
 	rs := &c.w.ranks[c.rank]
 	rs.op.Store(name)
+	c.tr.Begin(*name)
 	var op int64
 	if isExchange {
 		op = rs.exchs.Add(1) + rs.colls.Load()
@@ -384,6 +410,7 @@ func (c *Ctx) beginOp(name *string, isExchange bool) {
 	if f == nil {
 		return
 	}
+	c.tr.Fault(f.Kind.String(), op)
 	switch f.Kind {
 	case FaultPanic:
 		panic(&FaultError{Fault: *f})
@@ -407,7 +434,13 @@ func (c *Ctx) Ops() int64 {
 
 // endOp records leaving a blocking operation.
 func (c *Ctx) endOp() {
-	c.w.ranks[c.rank].op.Store(&opNone)
+	rs := &c.w.ranks[c.rank]
+	if c.tr != nil {
+		if p := rs.op.Load(); p != nil && *p != opNone {
+			c.tr.End(*p)
+		}
+	}
+	rs.op.Store(&opNone)
 }
 
 // collStart is beginOp for collectives, also bumping the traffic stat
@@ -547,6 +580,7 @@ func (c *Ctx) Exchange() []Message {
 			// recycles it into the receiver's pool.
 			c.w.onMsgs.Add(1)
 			c.w.onBytes.Add(int64(len(data)))
+			c.tr.Send(p, len(data), true)
 			c.deliver(p, delivery{from: c.rank, data: data, phase: phase})
 			continue
 		}
@@ -555,6 +589,7 @@ func (c *Ctx) Exchange() []Message {
 		// sender keeps its own array for the next phase.
 		c.w.offMsgs.Add(1)
 		c.w.offBytes.Add(int64(len(data)))
+		c.tr.Send(p, len(data), false)
 		cp := append(c.grabBuf(), data...)
 		c.releaseBuf(data)
 		if c.sendSeq == nil {

@@ -196,9 +196,26 @@ func (c *Counters) Reset() {
 	}
 }
 
-// Report renders all timers and counters, merged across shards and
-// sorted by name, one per line.
-func (c *Counters) Report() string {
+// TimerEntry is one merged timer in a Snapshot.
+type TimerEntry struct {
+	Name  string
+	Total time.Duration
+}
+
+// CountEntry is one merged counter in a Snapshot.
+type CountEntry struct {
+	Name  string
+	Total int64
+}
+
+// Snapshot merges the base maps and every shard into name-sorted
+// slices. Accumulation order — which shard was registered first, which
+// rank inserted a name first, map iteration order during the merge —
+// never reaches the output: values are summed into maps and the sort
+// happens once, on the complete merge. Every emitter (Report, the
+// tools' JSON output) goes through here, so two runs that accumulated
+// the same totals render identically.
+func (c *Counters) Snapshot() ([]TimerEntry, []CountEntry) {
 	timers := make(map[string]time.Duration)
 	counts := make(map[string]int64)
 	c.mu.Lock()
@@ -220,22 +237,31 @@ func (c *Counters) Report() string {
 		}
 		s.mu.Unlock()
 	}
-	var names []string
-	for n := range timers {
-		names = append(names, n)
+	te := make([]TimerEntry, 0, len(timers))
+	for n, v := range timers {
+		te = append(te, TimerEntry{Name: n, Total: v})
 	}
-	sort.Strings(names)
+	sort.Slice(te, func(i, j int) bool { return te[i].Name < te[j].Name })
+	ce := make([]CountEntry, 0, len(counts))
+	for n, v := range counts {
+		ce = append(ce, CountEntry{Name: n, Total: v})
+	}
+	sort.Slice(ce, func(i, j int) bool { return ce[i].Name < ce[j].Name })
+	return te, ce
+}
+
+// Report renders all timers and counters, merged across shards and
+// sorted by name, one per line. The output is byte-for-byte
+// deterministic for a given set of accumulated totals, independent of
+// shard registration or merge order.
+func (c *Counters) Report() string {
+	timers, counts := c.Snapshot()
 	var b strings.Builder
-	for _, n := range names {
-		fmt.Fprintf(&b, "timer %-30s %12.6fs\n", n, timers[n].Seconds())
+	for _, e := range timers {
+		fmt.Fprintf(&b, "timer %-30s %12.6fs\n", e.Name, e.Total.Seconds())
 	}
-	names = names[:0]
-	for n := range counts {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(&b, "count %-30s %12d\n", n, counts[n])
+	for _, e := range counts {
+		fmt.Fprintf(&b, "count %-30s %12d\n", e.Name, e.Total)
 	}
 	return b.String()
 }

@@ -1,8 +1,11 @@
 package perf
 
 import (
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -55,5 +58,80 @@ func TestConcurrentUse(t *testing.T) {
 func TestMemUsage(t *testing.T) {
 	if MemUsage() == 0 {
 		t.Fatal("zero heap usage")
+	}
+}
+
+// TestReportDeterministicAcrossShardOrder is the ordering regression
+// test: the same logical totals, accumulated through shards that are
+// registered and written in randomized orders, must render an identical
+// Report every time. A Report that leaked shard registration order or
+// map iteration order would differ between permutations.
+func TestReportDeterministicAcrossShardOrder(t *testing.T) {
+	names := []string{"parma.balance", "partition.migrate", "exchange", "a.first", "z.last"}
+	build := func(rng *rand.Rand) string {
+		var c Counters
+		shards := make([]*Shard, 4)
+		for _, i := range rng.Perm(len(shards)) {
+			shards[i] = c.NewShard()
+		}
+		// Each shard contributes a fixed per-(shard,name) amount, written
+		// in shuffled order so first-insertion order varies per run.
+		for si, s := range shards {
+			idx := rng.Perm(len(names))
+			for _, ni := range idx {
+				s.Add(names[ni], int64(100*si+ni))
+				s.timers[names[ni]] = new(atomic.Int64)
+				s.timers[names[ni]].Store(int64(si+1) * int64(ni+1) * 1000)
+			}
+		}
+		// Base-map contributions in shuffled order too.
+		for _, ni := range rng.Perm(len(names)) {
+			c.Add(names[ni], int64(ni))
+		}
+		return c.Report()
+	}
+	want := build(rand.New(rand.NewSource(1)))
+	for seed := int64(2); seed < 12; seed++ {
+		if got := build(rand.New(rand.NewSource(seed))); got != want {
+			t.Fatalf("Report depends on shard/merge order:\nseed 1:\n%s\nseed %d:\n%s", want, seed, got)
+		}
+	}
+	// Sanity: the report is sorted and complete.
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	lines := strings.Split(strings.TrimSpace(want), "\n")
+	if len(lines) != 2*len(names) {
+		t.Fatalf("report has %d lines, want %d:\n%s", len(lines), 2*len(names), want)
+	}
+	for i, n := range sorted {
+		if !strings.Contains(lines[i], "timer "+n) {
+			t.Errorf("line %d = %q, want timer %s", i, lines[i], n)
+		}
+		if !strings.Contains(lines[len(names)+i], "count "+n) {
+			t.Errorf("line %d = %q, want count %s", len(names)+i, lines[len(names)+i], n)
+		}
+	}
+}
+
+// TestSnapshotMergesSorted pins the Snapshot contract directly.
+func TestSnapshotMergesSorted(t *testing.T) {
+	var c Counters
+	s1, s2 := c.NewShard(), c.NewShard()
+	s2.Add("b", 2)
+	s1.Add("b", 3)
+	s1.Add("a", 1)
+	c.Add("c", 10)
+	timers, counts := c.Snapshot()
+	if len(timers) != 0 {
+		t.Errorf("timers = %v, want empty", timers)
+	}
+	want := []CountEntry{{"a", 1}, {"b", 5}, {"c", 10}}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %v, want %v", i, counts[i], want[i])
+		}
 	}
 }

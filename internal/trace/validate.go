@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// FileKind reports which trace document a JSON file holds.
+type FileKind int
+
+const (
+	// FileUnknown is a file matching neither schema.
+	FileUnknown FileKind = iota
+	// FileChrome is a Chrome trace-event timeline (ChromeSchema).
+	FileChrome
+	// FileSummary is a metrics summary (SummarySchema).
+	FileSummary
+)
+
+func (k FileKind) String() string {
+	switch k {
+	case FileChrome:
+		return "chrome"
+	case FileSummary:
+		return "summary"
+	}
+	return "unknown"
+}
+
+// ValidateFile detects which trace document data holds and checks it
+// structurally: schema tag, required fields, per-rank B/E span nesting
+// for timelines, and phase/neighbor invariants for summaries. It is the
+// check `pumi-trace -validate` and the trace-smoke CI lane run against
+// emitted files.
+func ValidateFile(data []byte) (FileKind, error) {
+	var probe struct {
+		Schema    string `json:"schema"`
+		OtherData struct {
+			Schema string `json:"schema"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return FileUnknown, fmt.Errorf("not JSON: %w", err)
+	}
+	switch {
+	case probe.OtherData.Schema == ChromeSchema:
+		return FileChrome, validateChrome(data)
+	case probe.Schema == SummarySchema:
+		return FileSummary, validateSummary(data)
+	case probe.OtherData.Schema != "":
+		return FileUnknown, fmt.Errorf("unknown chrome schema %q (want %q)", probe.OtherData.Schema, ChromeSchema)
+	case probe.Schema != "":
+		return FileUnknown, fmt.Errorf("unknown schema %q (want %q)", probe.Schema, SummarySchema)
+	}
+	return FileUnknown, fmt.Errorf("no trace schema tag (expected otherData.schema=%q or schema=%q)", ChromeSchema, SummarySchema)
+}
+
+func validateChrome(data []byte) error {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("chrome trace: %w", err)
+	}
+	// Per-track span nesting: every E must close the innermost open B of
+	// its name, timestamps must be non-negative and non-decreasing.
+	stacks := map[int][]string{}
+	lastTs := -1.0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("chrome trace: event %d has no name", i)
+		}
+		if e.Ts < 0 {
+			return fmt.Errorf("chrome trace: event %d (%s) has negative ts", i, e.Name)
+		}
+		if e.Ph != "M" {
+			if e.Ts < lastTs {
+				return fmt.Errorf("chrome trace: event %d (%s) goes back in time (%.3f < %.3f)", i, e.Name, e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		}
+		switch e.Ph {
+		case "B":
+			stacks[e.Tid] = append(stacks[e.Tid], e.Name)
+		case "E":
+			st := stacks[e.Tid]
+			if len(st) == 0 {
+				return fmt.Errorf("chrome trace: event %d closes %q on rank %d with no open span", i, e.Name, e.Tid)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				return fmt.Errorf("chrome trace: event %d closes %q on rank %d but %q is open", i, e.Name, e.Tid, top)
+			}
+			stacks[e.Tid] = st[:len(st)-1]
+		case "i", "C", "M":
+		default:
+			return fmt.Errorf("chrome trace: event %d has unsupported phase %q", i, e.Ph)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("chrome trace: rank %d ends with %d unclosed spans (innermost %q)", tid, len(st), st[len(st)-1])
+		}
+	}
+	return nil
+}
+
+func validateSummary(data []byte) error {
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("summary: %w", err)
+	}
+	if s.Ranks < 0 {
+		return fmt.Errorf("summary: negative rank count %d", s.Ranks)
+	}
+	for _, p := range s.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("summary: phase with empty name")
+		}
+		if p.Count < 0 || p.TotalSec < 0 || p.MaxRankSec < 0 || p.AvgRankSec < 0 {
+			return fmt.Errorf("summary: phase %q has negative stats", p.Name)
+		}
+		if p.MaxRankSec > p.TotalSec*(1+1e-9) {
+			return fmt.Errorf("summary: phase %q max_rank_sec %.9f exceeds total_sec %.9f", p.Name, p.MaxRankSec, p.TotalSec)
+		}
+	}
+	for _, n := range s.Neighbors {
+		if n.Rank < 0 || n.Rank >= s.Ranks || n.Peer < 0 || n.Peer >= s.Ranks {
+			return fmt.Errorf("summary: neighbor pair %d->%d outside 0..%d", n.Rank, n.Peer, s.Ranks-1)
+		}
+		if n.Msgs < 0 || n.Bytes < 0 || n.OnNodeMsgs > n.Msgs {
+			return fmt.Errorf("summary: neighbor pair %d->%d has inconsistent counts", n.Rank, n.Peer)
+		}
+		var hist uint64
+		for _, v := range n.Hist {
+			hist += v
+		}
+		if hist != uint64(n.Msgs) {
+			return fmt.Errorf("summary: neighbor pair %d->%d histogram sums to %d, msgs is %d", n.Rank, n.Peer, hist, n.Msgs)
+		}
+	}
+	for i, p := range s.Parma {
+		if p.Imb < 0 {
+			return fmt.Errorf("summary: parma point %d has negative imbalance", i)
+		}
+	}
+	return nil
+}
