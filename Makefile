@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet chaos san-smoke trace-smoke check
+.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos san-smoke trace-smoke check
 
 all: build
 
@@ -40,6 +40,21 @@ vet:
 pumi-vet:
 	$(GO) run ./cmd/pumi-vet ./...
 
+# Self-hosting gate: all analyzers over the whole repo, tests included,
+# against the committed baseline. Any finding not in the baseline fails;
+# stale entries fail too, so the baseline can only shrink silently.
+# Accept a new finding deliberately with:
+#   go run ./cmd/pumi-vet -writebaseline internal/lint/selfbaseline.txt ./...
+vet-self:
+	$(GO) run ./cmd/pumi-vet -baseline internal/lint/selfbaseline.txt ./...
+
+# SARIF smoke: emit SARIF over the analyzer fixtures (which are built to
+# produce findings, hence the || true on the emitting run) and
+# schema-check that the result is valid and non-empty.
+sarif-smoke:
+	$(GO) run ./cmd/pumi-vet -sarif internal/lint/testdata/src/... > /tmp/pumi-vet-smoke.sarif || true
+	$(GO) run ./cmd/pumi-vet -checksarif /tmp/pumi-vet-smoke.sarif -nonempty
+
 # Short race-enabled chaos soak at fixed seeds: balancing under fault
 # injection must end cleanly or with a structured failure + checkpoint
 # restart (see DESIGN.md §7).
@@ -62,4 +77,4 @@ trace-smoke:
 	$(GO) run ./cmd/pumi-trace -validate /tmp/pumi-trace-smoke.json /tmp/pumi-trace-smoke.summary.json
 
 # The full local gate: what CI runs.
-check: vet pumi-vet build test race chaos san-smoke trace-smoke bench-smoke
+check: vet vet-self sarif-smoke build test race chaos san-smoke trace-smoke bench-smoke

@@ -68,17 +68,20 @@ func main() {
 	}
 
 	err = pcu.Run(*ranks, func(ctx *pcu.Ctx) error {
+		// Only rank 0 loads; reconcile its local failure across the
+		// world before entering the collective schedule, so a bad file
+		// fails every rank instead of deadlocking the others in Adopt.
 		var serial *mesh.Mesh
+		var loadErr error
 		if ctx.Rank() == 0 {
-			var err error
-			serial, err = meshio.LoadFile(*meshFile, model)
-			if err != nil {
-				return err
-			}
-			if serial.Count(serial.Dim()) != len(assign) {
-				return fmt.Errorf("assignment has %d entries for %d elements",
+			serial, loadErr = meshio.LoadFile(*meshFile, model)
+			if loadErr == nil && serial.Count(serial.Dim()) != len(assign) {
+				loadErr = fmt.Errorf("assignment has %d entries for %d elements",
 					len(assign), serial.Count(serial.Dim()))
 			}
+		}
+		if err := meshio.GatherErrors(ctx, loadErr, "loading mesh on rank 0"); err != nil {
+			return err
 		}
 		dim := ms.Dim()
 		dm := partition.Adopt(ctx, model, dim, serial, nparts / *ranks)

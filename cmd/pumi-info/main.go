@@ -125,13 +125,16 @@ func main() {
 	}
 	fmt.Printf("\npartition analysis (%d parts over %d ranks):\n", nparts, *ranks)
 	err = pcu.Run(*ranks, func(ctx *pcu.Ctx) error {
+		// Reconcile rank 0's local load failure before the collective
+		// schedule; an early return from one rank would strand the rest
+		// in Adopt.
 		var serial *mesh.Mesh
+		var loadErr error
 		if ctx.Rank() == 0 {
-			var err error
-			serial, err = meshio.LoadFile(*meshFile, model)
-			if err != nil {
-				return err
-			}
+			serial, loadErr = meshio.LoadFile(*meshFile, model)
+		}
+		if err := meshio.GatherErrors(ctx, loadErr, "loading mesh on rank 0"); err != nil {
+			return err
 		}
 		dm := partition.Adopt(ctx, model, ms.Dim(), serial, nparts / *ranks)
 		var plan map[mesh.Ent]int32

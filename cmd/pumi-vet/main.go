@@ -14,15 +14,29 @@
 //	enthandle     cross-part entity-handle comparisons
 //	maporder      map iteration order flowing into sends/reductions
 //	phaseorder    begin/to/exchange ordering of phased exchanges
+//	collseq       rank-dependent branches/loops with divergent
+//	              collective schedules, proved over inferred effect terms
+//	rankdiv       rank-derived values (arithmetic on Rank(), rank-indexed
+//	              data, rank-returning helpers) guarding collectives or
+//	              loop bounds without a reconciling collective
 //
 // The analyzers are interprocedural: a pre-pass builds a callgraph with
 // per-function summaries (reaches a collective? leaks its Ctx
-// parameter? contributes sends?), so wrapping a violation in helper
-// functions does not hide it.
+// parameter? contributes sends? returns a rank-derived value?) and a
+// communication-effect term per function, so wrapping a violation in
+// helper functions does not hide it.
 //
-// `-json` switches the report to NDJSON, one object per finding on
-// stdout ({"file","line","col","analyzer","message"}), for editors and
-// CI; the human format stays the default.
+// Output formats: the human format is the default; `-json` switches to
+// NDJSON, one object per finding ({"file","line","col","analyzer",
+// "message"}); `-sarif` emits a SARIF 2.1.0 log for GitHub code
+// scanning and SARIF-aware editors. `-checksarif FILE` validates a
+// previously written SARIF file (the CI smoke lane).
+//
+// Self-hosting gate: `-baseline FILE` filters findings through a
+// committed baseline — only new findings (and stale baseline entries)
+// fail the run; `-writebaseline FILE` records the current findings as
+// the new baseline. `make vet-self` wires these to
+// internal/lint/selfbaseline.txt.
 //
 // Code that violates an invariant on purpose — the deadlock-diagnosis
 // tests skip collectives on some ranks to prove the watchdog catches
@@ -45,10 +59,15 @@ import (
 func main() {
 	cmdutil.SetTool("pumi-vet")
 	var (
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		only    = flag.String("analyzers", "", "comma-separated subset of analyzers to run")
-		noTests = flag.Bool("notests", false, "skip _test.go files")
-		jsonOut = flag.Bool("json", false, "emit NDJSON (one JSON object per finding) instead of the human format")
+		list       = flag.Bool("list", false, "list analyzers and exit")
+		only       = flag.String("analyzers", "", "comma-separated subset of analyzers to run")
+		noTests    = flag.Bool("notests", false, "skip _test.go files")
+		jsonOut    = flag.Bool("json", false, "emit NDJSON (one JSON object per finding) instead of the human format")
+		sarifOut   = flag.Bool("sarif", false, "emit a SARIF 2.1.0 log instead of the human format")
+		baseline   = flag.String("baseline", "", "baseline file of accepted findings; only new findings fail the run")
+		writeBase  = flag.String("writebaseline", "", "write the current findings to this baseline file and exit 0")
+		checkSarif = flag.String("checksarif", "", "validate a SARIF file produced by -sarif and exit")
+		nonEmpty   = flag.Bool("nonempty", false, "with -checksarif, also fail if the log holds zero results")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pumi-vet [flags] [packages]\n\n"+
@@ -57,6 +76,25 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *checkSarif != "" {
+		data, err := os.ReadFile(*checkSarif)
+		if err != nil {
+			cmdutil.Usagef("%v", err)
+		}
+		n, err := lint.CheckSARIF(data)
+		if err != nil {
+			cmdutil.Failf("%v", err)
+		}
+		if *nonEmpty && n == 0 {
+			cmdutil.Failf("sarif log %s is valid but holds zero results", *checkSarif)
+		}
+		fmt.Printf("sarif ok: %d result(s)\n", n)
+		return
+	}
+	if *jsonOut && *sarifOut {
+		cmdutil.Usagef("-json and -sarif are mutually exclusive")
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
@@ -98,14 +136,46 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		if *jsonOut {
+	root := loader.ModRoot()
+
+	if *writeBase != "" {
+		body := lint.FormatBaseline(diags, root)
+		if err := os.WriteFile(*writeBase, []byte(body), 0o644); err != nil {
+			cmdutil.Usagef("%v", err)
+		}
+		fmt.Printf("wrote %d baseline finding(s) to %s\n", len(diags), *writeBase)
+		return
+	}
+
+	stale := []string(nil)
+	if *baseline != "" {
+		accepted, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			cmdutil.Usagef("%v", err)
+		}
+		diags, stale = lint.FilterBaseline(diags, accepted, root)
+	}
+
+	switch {
+	case *sarifOut:
+		out, err := lint.SARIF(analyzers, diags)
+		if err != nil {
+			cmdutil.Failf("%v", err)
+		}
+		os.Stdout.Write(out)
+	case *jsonOut:
+		for _, d := range diags {
 			fmt.Println(d.JSON())
-		} else {
+		}
+	default:
+		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
-		cmdutil.Failf("%d finding(s)", len(diags))
+	for _, k := range stale {
+		fmt.Fprintf(os.Stderr, "stale baseline entry (no longer reported): %s\n", k)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
+		cmdutil.Failf("%d new finding(s), %d stale baseline entr(ies)", len(diags), len(stale))
 	}
 }

@@ -132,13 +132,16 @@ func RunTable(cfg TableConfig) (TableResult, error) {
 		}
 		var fig Fig12Series
 		err := pcu.Run(cfg.Ranks, func(ctx *pcu.Ctx) error {
+			// Reconcile rank 0's local decode failure before Adopt's
+			// collective schedule; a lone early return would strand the
+			// other ranks.
 			var sm *mesh.Mesh
+			var loadErr error
 			if ctx.Rank() == 0 {
-				var err error
-				sm, err = meshio.Read(bytes.NewReader(blob.Bytes()), model.Model)
-				if err != nil {
-					return err
-				}
+				sm, loadErr = meshio.Read(bytes.NewReader(blob.Bytes()), model.Model)
+			}
+			if err := meshio.GatherErrors(ctx, loadErr, "decoding mesh on rank 0"); err != nil {
+				return err
 			}
 			dm := partition.Adopt(ctx, model.Model, 3, sm, k)
 			var plan map[mesh.Ent]int32

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support for the self-hosting gate (`make vet-self`): a
+// committed file of accepted findings, one key per line, that CI
+// compares fresh runs against. Keys deliberately omit line and column
+// so unrelated edits shifting code around do not invalidate the
+// baseline; a finding is identified by its file, analyzer, and message.
+// Messages embed positions in witness text (e.g. "guard at f.go:30:2"),
+// so those are scrubbed too.
+
+// BaselineKey renders one diagnostic as a stable baseline line:
+// "<slash-path>\t<analyzer>\t<message-with-positions-scrubbed>".
+// root, when non-empty, relativizes the file path so keys agree between
+// machines that check out the repo at different locations.
+func BaselineKey(d Diagnostic, root string) string {
+	return strings.Join([]string{
+		relSlashPath(d.Pos.Filename, root),
+		d.Analyzer,
+		scrubPositions(d.Message, root),
+	}, "\t")
+}
+
+func relSlashPath(path, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// scrubPositions replaces file:line:col references inside a message
+// with file:_:_ so baselined findings survive unrelated line shifts.
+func scrubPositions(msg, root string) string {
+	var b strings.Builder
+	rest := msg
+	for {
+		i := strings.Index(rest, ".go:")
+		if i < 0 {
+			b.WriteString(rest)
+			break
+		}
+		j := i + len(".go:")
+		digits := 0
+		for j < len(rest) {
+			c := rest[j]
+			if c >= '0' && c <= '9' {
+				digits++
+				j++
+				continue
+			}
+			if c == ':' && digits > 0 {
+				digits = 0
+				j++
+				continue
+			}
+			break
+		}
+		// Walk i back to the start of the path token.
+		start := i
+		for start > 0 && rest[start-1] != ' ' && rest[start-1] != '(' {
+			start--
+		}
+		b.WriteString(rest[:start])
+		b.WriteString(relSlashPath(rest[start:i+len(".go")], root))
+		b.WriteString(":_:_")
+		rest = rest[j:]
+	}
+	return b.String()
+}
+
+// LoadBaseline reads a baseline file: one key per line, blank lines and
+// #-comments ignored. A missing file is an empty baseline.
+func LoadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	keys := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// FilterBaseline splits diagnostics into new findings (not in the
+// baseline) and reports baseline entries no current finding matches
+// (stale — candidates for removal). Diagnostics order is preserved.
+func FilterBaseline(diags []Diagnostic, baseline map[string]bool, root string) (fresh []Diagnostic, stale []string) {
+	used := map[string]bool{}
+	for _, d := range diags {
+		k := BaselineKey(d, root)
+		if baseline[k] {
+			used[k] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for k := range baseline {
+		if !used[k] {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// FormatBaseline renders the diagnostics as a baseline file body, keys
+// deduplicated and sorted, with a header explaining the format.
+func FormatBaseline(diags []Diagnostic, root string) string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, d := range diags {
+		k := BaselineKey(d, root)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# pumi-vet self-hosting baseline: accepted findings, one per line\n")
+	b.WriteString("# (file<TAB>analyzer<TAB>message, positions scrubbed to _:_).\n")
+	b.WriteString("# Regenerate with: go run ./cmd/pumi-vet -writebaseline <this file> ./...\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ModRoot exposes the loader's module root so callers can relativize
+// baseline and SARIF paths consistently.
+func (l *Loader) ModRoot() string { return l.modRoot }

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func op(name string) *Effect     { return opEffect(name, true, 0) }
+func sendOp(name string) *Effect { return opEffect(name, false, 0) }
+
+func TestEffectCanonicalization(t *testing.T) {
+	b, e, s := op("Barrier"), op("Exchange"), op("SumInt64")
+
+	if got := seqEffect(); got != emptyEffect {
+		t.Errorf("seq() = %s, want ε", got)
+	}
+	if got := seqEffect(emptyEffect, b, emptyEffect); !got.Equal(b) {
+		t.Errorf("ε·Barrier·ε = %s, want Barrier", got)
+	}
+	// Seq flattening: (a·b)·c == a·(b·c).
+	if l, r := seqEffect(seqEffect(b, e), s), seqEffect(b, seqEffect(e, s)); !l.Equal(r) {
+		t.Errorf("seq not associative: %s vs %s", l, r)
+	}
+	// Choice is ACI: dedup, flatten, order-independent.
+	if l, r := choiceEffect(b, e), choiceEffect(e, b, e); !l.Equal(r) {
+		t.Errorf("choice not ACI: %s vs %s", l, r)
+	}
+	if got := choiceEffect(b, b); !got.Equal(b) {
+		t.Errorf("Barrier|Barrier = %s, want Barrier", got)
+	}
+	// Loop(ε)=ε, Loop(Loop(e))=Loop(e).
+	if got := loopEffect(emptyEffect); got != emptyEffect {
+		t.Errorf("ε* = %s, want ε", got)
+	}
+	if got := loopEffect(loopEffect(b)); !got.Equal(loopEffect(b)) {
+		t.Errorf("(Barrier*)* = %s, want Barrier*", got)
+	}
+}
+
+func TestCollProject(t *testing.T) {
+	b, snd := op("Barrier"), sendOp("send")
+	// Sends erase; a guard whose arms differ only in sends projects to
+	// one schedule.
+	term := choiceEffect(seqEffect(snd, b), b)
+	if got := collProject(term); !got.Equal(b) {
+		t.Errorf("project((send·Barrier)|Barrier) = %s, want Barrier", got)
+	}
+	if got := collProject(loopEffect(snd)); got != emptyEffect {
+		t.Errorf("project(send*) = %s, want ε", got)
+	}
+}
+
+func TestSchedDivergeEqual(t *testing.T) {
+	b, e := op("Barrier"), op("Exchange")
+	cases := []struct{ a, b *Effect }{
+		{b, b},
+		{seqEffect(b, e), seqEffect(b, e)},
+		// Distinct terms, equal languages: e|e·e ⊂ e* on both sides.
+		{loopEffect(b), choiceEffect(emptyEffect, seqEffect(b, loopEffect(b)))},
+		// Sends do not affect the collective schedule.
+		{seqEffect(sendOp("send"), b), b},
+	}
+	for _, c := range cases {
+		if w, equal := schedDiverge(c.a, c.b, "x", "y"); !equal {
+			t.Errorf("schedDiverge(%s, %s) diverged: %s", c.a, c.b, w)
+		}
+	}
+}
+
+func TestSchedDivergeWitness(t *testing.T) {
+	b, e, s := op("Barrier"), op("Exchange"), op("SumInt64")
+	cases := []struct {
+		a, b *Effect
+		want string
+	}{
+		{b, emptyEffect, "at the branch, the y can finish its collectives while the x must still run Barrier"},
+		{seqEffect(b, s), b, "after Barrier, the y can finish its collectives while the x must still run SumInt64"},
+		{seqEffect(b, e), seqEffect(b, s), "after Barrier, the x can run Exchange where the y cannot"},
+	}
+	for _, c := range cases {
+		w, equal := schedDiverge(c.a, c.b, "x", "y")
+		if equal {
+			t.Errorf("schedDiverge(%s, %s) reported equal", c.a, c.b)
+			continue
+		}
+		if w != c.want {
+			t.Errorf("schedDiverge(%s, %s)\n got %q\nwant %q", c.a, c.b, w, c.want)
+		}
+	}
+}
+
+func TestSchedDivergeLoopVsFixed(t *testing.T) {
+	b := op("Barrier")
+	// Barrier* vs Barrier: the starred side may stop at zero.
+	w, equal := schedDiverge(loopEffect(b), b, "loop", "straight")
+	if equal {
+		t.Fatal("Barrier* vs Barrier reported equal")
+	}
+	if !strings.Contains(w, "can finish its collectives") {
+		t.Errorf("witness %q does not explain the nullable mismatch", w)
+	}
+}
+
+func TestAlphabetSorted(t *testing.T) {
+	term := seqEffect(op("Exchange"), choiceEffect(op("Barrier"), sendOp("send")), op("Exchange"))
+	var names []string
+	for _, a := range alphabet(term) {
+		names = append(names, a.op)
+	}
+	want := "Barrier,Exchange,send"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("alphabet = %s, want %s", got, want)
+	}
+}
+
+// lookupFn resolves a package-scope function in a fixture package.
+func lookupFn(t *testing.T, p *Package, name string) *types.Func {
+	t.Helper()
+	obj := p.Pkg.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("fixture function %s not found", name)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%s is %T, not a function", name, obj)
+	}
+	return fn
+}
+
+func TestInferredEffects(t *testing.T) {
+	pkgs := fixturePkgs(t, "collseq")
+	facts := gatherFacts(pkgs)
+	cases := []struct {
+		fn   string
+		want string
+	}{
+		{"seqOne", "Barrier"},
+		{"seqBoth", "Barrier·SumInt64"},
+		{"okBothArmsEqual", "Bcast"},
+		{"okEarlyReturnEqual", "Bcast"},
+	}
+	for _, c := range cases {
+		fn := lookupFn(t, pkgs[0], c.fn)
+		eff := facts.EffectOf(fn)
+		if eff == nil {
+			t.Errorf("EffectOf(%s) = nil", c.fn)
+			continue
+		}
+		if got := collProject(eff).String(); got != c.want {
+			t.Errorf("EffectOf(%s) projects to %s, want %s", c.fn, got, c.want)
+		}
+		if facts.EffectWidened(fn) {
+			t.Errorf("EffectOf(%s) unexpectedly widened", c.fn)
+		}
+	}
+}

@@ -94,7 +94,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // Analyzers returns pumi-vet's analyzers in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxEscape, CollMismatch, BufDiscipline, EntHandle, MapOrder, PhaseOrder}
+	return []*Analyzer{CtxEscape, CollMismatch, BufDiscipline, EntHandle, MapOrder, PhaseOrder, CollSeq, RankDiv}
 }
 
 // Facts is cross-package knowledge gathered in a pre-pass over every
@@ -263,6 +263,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	return dedupeDiags(diags)
+}
+
+// analyzerSpecificity ranks analyzers for position-level dedup: when
+// two analyzers report the same file:line:col, only the more specific
+// one's diagnostics survive. The schedule-level analyzers explain *why*
+// the communication diverges, so they outrank the lexical checks.
+var analyzerSpecificity = map[string]int{
+	"collseq":      3,
+	"rankdiv":      3,
+	"collmismatch": 2,
+	"phaseorder":   2,
+}
+
+// dedupeDiags sorts diagnostics into a total deterministic order —
+// position, then analyzer, then message — and collapses positions
+// reported by multiple analyzers down to the most specific one. The
+// result is identical regardless of analyzer registration order.
+func dedupeDiags(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -274,9 +293,58 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	type posKey struct {
+		file      string
+		line, col int
+	}
+	// First pass: pick the winning analyzer per position — highest
+	// specificity; ties broken by the longest message, then
+	// alphabetically, so the outcome never depends on encounter order.
+	winner := map[posKey]Diagnostic{}
+	for _, d := range diags {
+		k := posKey{d.Pos.Filename, d.Pos.Line, d.Pos.Column}
+		w, ok := winner[k]
+		if !ok || moreSpecific(d, w) {
+			winner[k] = d
+		}
+	}
+	// Second pass: keep every diagnostic from the winning analyzer at
+	// each position (one analyzer may legitimately report twice), drop
+	// the rest, and drop exact duplicates.
+	out := diags[:0]
+	var last Diagnostic
+	for i, d := range diags {
+		k := posKey{d.Pos.Filename, d.Pos.Line, d.Pos.Column}
+		if d.Analyzer != winner[k].Analyzer {
+			continue
+		}
+		if i > 0 && d == last {
+			continue
+		}
+		last = d
+		out = append(out, d)
+	}
+	return out
+}
+
+// moreSpecific reports whether a should beat b for the same position.
+func moreSpecific(a, b Diagnostic) bool {
+	sa, sb := analyzerSpecificity[a.Analyzer], analyzerSpecificity[b.Analyzer]
+	if sa != sb {
+		return sa > sb
+	}
+	if len(a.Message) != len(b.Message) {
+		return len(a.Message) > len(b.Message)
+	}
+	if a.Message != b.Message {
+		return a.Message < b.Message
+	}
+	return a.Analyzer < b.Analyzer
 }
 
 // Loader loads and type-checks packages from a module tree.

@@ -71,10 +71,12 @@ func TestBufDiscipline(t *testing.T) { testAnalyzer(t, BufDiscipline) }
 func TestEntHandle(t *testing.T)     { testAnalyzer(t, EntHandle) }
 func TestMapOrder(t *testing.T)      { testAnalyzer(t, MapOrder) }
 func TestPhaseOrder(t *testing.T)    { testAnalyzer(t, PhaseOrder) }
+func TestCollSeq(t *testing.T)       { testAnalyzer(t, CollSeq) }
+func TestRankDiv(t *testing.T)       { testAnalyzer(t, RankDiv) }
 
 // TestAnalyzerListStable pins the analyzer set wired into pumi-vet.
 func TestAnalyzerListStable(t *testing.T) {
-	want := []string{"ctxescape", "collmismatch", "bufdiscipline", "enthandle", "maporder", "phaseorder"}
+	want := []string{"ctxescape", "collmismatch", "bufdiscipline", "enthandle", "maporder", "phaseorder", "collseq", "rankdiv"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
@@ -85,6 +87,75 @@ func TestAnalyzerListStable(t *testing.T) {
 		}
 		if a.Doc == "" {
 			t.Errorf("analyzer %s lacks a doc string", a.Name)
+		}
+	}
+}
+
+// TestDiagnosticDedup exercises the cross-analyzer position dedup: at
+// one file:line:col only the most specific analyzer's diagnostics
+// survive, and the result is independent of input order.
+func TestDiagnosticDedup(t *testing.T) {
+	mk := func(line, col int, analyzer, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: msg}
+		d.Pos.Filename = "x.go"
+		d.Pos.Line = line
+		d.Pos.Column = col
+		return d
+	}
+	in := []Diagnostic{
+		mk(10, 2, "collmismatch", "collective under a rank guard"),
+		mk(10, 2, "collseq", "divergent schedules with a long witness"),
+		mk(10, 2, "collseq", "second collseq finding at the same position"),
+		mk(12, 4, "maporder", "map order reaches communication"),
+		mk(12, 4, "maporder", "map order reaches communication"), // exact dup
+		mk(5, 1, "ctxescape", "ctx escapes"),
+	}
+	want := []string{
+		"x.go:5:1: ctxescape: ctx escapes",
+		"x.go:10:2: collseq: divergent schedules with a long witness",
+		"x.go:10:2: collseq: second collseq finding at the same position",
+		"x.go:12:4: maporder: map order reaches communication",
+	}
+	for trial := 0; trial < 2; trial++ {
+		input := make([]Diagnostic, len(in))
+		copy(input, in)
+		if trial == 1 { // reversed input must not change the outcome
+			for i, j := 0, len(input)-1; i < j; i, j = i+1, j-1 {
+				input[i], input[j] = input[j], input[i]
+			}
+		}
+		got := dedupeDiags(input)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d diagnostics, want %d: %v", trial, len(got), len(want), got)
+		}
+		for i, d := range got {
+			if d.String() != want[i] {
+				t.Errorf("trial %d: diag[%d] = %s, want %s", trial, i, d.String(), want[i])
+			}
+		}
+	}
+}
+
+// TestRunOrderIndependent runs the full analyzer set forwards and
+// reversed over every fixture: registration order must not leak into
+// the output.
+func TestRunOrderIndependent(t *testing.T) {
+	fwd := Analyzers()
+	rev := make([]*Analyzer, len(fwd))
+	for i, a := range fwd {
+		rev[len(fwd)-1-i] = a
+	}
+	for _, name := range []string{"collseq", "rankdiv", "collmismatch"} {
+		pkgs := fixturePkgs(t, name)
+		a := Run(pkgs, fwd)
+		b := Run(pkgs, rev)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d diagnostics forward, %d reversed", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: diag[%d] differs by registration order:\n fwd %v\n rev %v", name, i, a[i], b[i])
+			}
 		}
 	}
 }

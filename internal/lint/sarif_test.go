@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSARIFGolden pins the SARIF rendering of the full fixture run
+// against a checked-in golden file and validates it with CheckSARIF.
+// Rerun with UPDATE_GOLDEN=1 to regenerate after intentional changes.
+func TestSARIFGolden(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		diags = append(diags, Run(fixturePkgs(t, e.Name()), Analyzers())...)
+	}
+	got, err := SARIF(Analyzers(), diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := CheckSARIF(got)
+	if err != nil {
+		t.Fatalf("generated SARIF fails validation: %v", err)
+	}
+	if n != len(diags) {
+		t.Errorf("CheckSARIF counted %d results, want %d", n, len(diags))
+	}
+	if n == 0 {
+		t.Error("fixture run produced an empty SARIF result set")
+	}
+
+	golden := filepath.Join("testdata", "golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s out of date (UPDATE_GOLDEN=1 regenerates)", golden)
+	}
+}
+
+// TestCheckSARIFRejects feeds CheckSARIF malformed inputs.
+func TestCheckSARIFRejects(t *testing.T) {
+	d := Diagnostic{Analyzer: "collseq", Message: "m"}
+	d.Pos.Filename = "a.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 1
+	ok, err := SARIF(Analyzers(), []Diagnostic{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		mut   func(string) string
+		wants string
+	}{
+		{"not json", func(s string) string { return "{" }, "sarif:"},
+		{"wrong version", func(s string) string { return strings.Replace(s, `"2.1.0"`, `"1.0.0"`, 1) }, "version"},
+		{"unknown rule", func(s string) string { return strings.Replace(s, `"ruleId": "collseq"`, `"ruleId": "nosuch"`, 1) }, "undeclared rule"},
+		{"empty message", func(s string) string { return strings.Replace(s, `"text": "m"`, `"text": ""`, 1) }, "empty message"},
+	}
+	for _, c := range cases {
+		if _, err := CheckSARIF([]byte(c.mut(string(ok)))); err == nil || !strings.Contains(err.Error(), c.wants) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.wants)
+		}
+	}
+}
+
+// TestBaselineRoundTrip: findings written as a baseline filter
+// themselves out; edits to messages or new findings show up as fresh;
+// removed findings surface as stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	pkgs := fixturePkgs(t, "collseq")
+	diags := Run(pkgs, Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("collseq fixture produced no diagnostics")
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := os.WriteFile(path, []byte(FormatBaseline(diags, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := FilterBaseline(diags, accepted, "")
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip not clean: %d fresh, %d stale", len(fresh), len(stale))
+	}
+
+	// A new finding is fresh; when no current finding matches a
+	// baseline key anymore, the key surfaces as stale.
+	extra := diags[0]
+	extra.Message = "an entirely new finding"
+	fresh, _ = FilterBaseline(append(diags, extra), accepted, "")
+	if len(fresh) != 1 || fresh[0].Message != extra.Message {
+		t.Fatalf("new finding not detected: %v", fresh)
+	}
+	_, stale = FilterBaseline(nil, accepted, "")
+	if len(stale) != len(accepted) {
+		t.Fatalf("expected every baseline entry stale, got %d of %d", len(stale), len(accepted))
+	}
+
+	// Missing baseline file = empty baseline.
+	none, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.txt"))
+	if err != nil || len(none) != 0 {
+		t.Fatalf("missing baseline: %v, %v", none, err)
+	}
+}
+
+// TestScrubPositions pins the position scrubbing inside messages.
+func TestScrubPositions(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"guard at internal/x/y.go:30:2; fix it", "guard at internal/x/y.go:_:_; fix it"},
+		{"plain message", "plain message"},
+		{"(a.go:1:2) and b.go:3:4", "(a.go:_:_) and b.go:_:_"},
+	}
+	for _, c := range cases {
+		if got := scrubPositions(c.in, ""); got != c.want {
+			t.Errorf("scrubPositions(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -69,6 +69,20 @@ type funcNode struct {
 	sendsVia   []string
 	leak       map[int]string // ctx param index -> how it escapes
 	async      map[int]string // func param index -> how it is started
+
+	// Rank-return summary: the function's return value derives from the
+	// calling rank (a Ctx.Rank() call, directly or through callees whose
+	// returns do). retCalls lists the callees invoked inside return
+	// statements, in source order, for the fixpoint propagation.
+	retRank    bool
+	retRankVia []string
+	retCalls   []*callSite
+
+	// Communication-effect term (see effects.go), inferred in
+	// reverse-topological SCC order after the boolean fixpoint.
+	// effWidened marks terms approximated because of recursion.
+	effect     *Effect
+	effWidened bool
 }
 
 // callGraph indexes the funcNodes of all loaded packages.
@@ -122,6 +136,7 @@ func buildCallGraph(pkgs []*Package, facts *Facts) *callGraph {
 	}
 	sort.Slice(g.order, func(i, j int) bool { return g.order[i].less(g.order[j]) })
 	g.fixpoint(facts)
+	g.inferEffects(facts)
 	return g
 }
 
@@ -275,6 +290,45 @@ func newFuncNode(p *Package, fd *ast.FuncDecl) *funcNode {
 		}
 		return true
 	})
+	// Rank-return scan: does a return statement's result expression
+	// derive from Rank()? Record direct Rank() calls and, for the
+	// fixpoint, the callees invoked inside results. Function literals
+	// are pruned: a returned closure does not evaluate at return time.
+	// (Caveat: flows through named results or locals assigned earlier
+	// are not tracked; DESIGN.md §11.)
+	ast.Inspect(fd.Body, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := c.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(r ast.Node) bool {
+				if _, ok := r.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := r.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isRankCall(pass, call) {
+					if !n.retRank {
+						n.retRank = true
+						n.retRankVia = []string{"Ctx.Rank"}
+					}
+					return true
+				}
+				if fn := calleeFunc(p.Info, call); fn != nil {
+					key := keyOfFunc(fn)
+					n.retCalls = append(n.retCalls, &callSite{key: key, name: key.String(), fn: fn, pos: call.Pos()})
+				}
+				return true
+			})
+		}
+		return true
+	})
 	return n
 }
 
@@ -311,6 +365,17 @@ func (g *callGraph) fixpoint(facts *Facts) {
 		changed = false
 		for _, key := range g.order {
 			n := g.nodes[key]
+			if !n.retRank {
+				for _, rc := range n.retCalls {
+					callee := g.nodes[rc.key]
+					if callee != nil && callee.retRank {
+						n.retRank = true
+						n.retRankVia = append([]string{rc.name}, callee.retRankVia...)
+						changed = true
+						break
+					}
+				}
+			}
 			for _, cs := range n.calls {
 				callee := g.nodes[cs.key]
 				if !n.collective {
@@ -433,4 +498,13 @@ func (f *Facts) AsyncParam(fn *types.Func, i int) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// RankReturn reports whether fn's return value derives from the
+// calling rank, with the call chain down to the Ctx.Rank() source.
+func (f *Facts) RankReturn(fn *types.Func) ([]string, bool) {
+	if n := f.graph.node(fn); n != nil && n.retRank {
+		return n.retRankVia, true
+	}
+	return nil, false
 }

@@ -1,0 +1,68 @@
+package collseq
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+func badGuardedBarrier(c *pcu.Ctx) {
+	if c.Rank() == 0 { // want `rank-dependent branch yields divergent collective schedules: at the branch, the false path can finish its collectives while the true path must still run Barrier`
+		c.Barrier()
+	}
+}
+
+func badMidScheduleDivergence(c *pcu.Ctx) {
+	// Both arms start with the same collective, then diverge: the
+	// witness names the shortest common prefix before the split.
+	if c.Rank() == 0 { // want `rank-dependent branch yields divergent collective schedules: after Barrier, the false path can finish its collectives while the true path must still run SumInt64`
+		c.Barrier()
+		_ = pcu.SumInt64(c, 1)
+	} else {
+		c.Barrier()
+	}
+}
+
+func badSwitchArms(c *pcu.Ctx) {
+	switch c.Rank() { // want `rank-dependent switch yields divergent collective schedules: at the branch, the default path can finish its collectives while the case-0 path must still run Barrier`
+	case 0:
+		c.Barrier()
+	default:
+	}
+}
+
+func badEarlyReturn(c *pcu.Ctx) {
+	// The early-returning arm skips the Barrier the other ranks run.
+	if c.Rank() == 0 { // want `rank-dependent branch yields divergent collective schedules: at the branch, the true path can finish its collectives while the false path must still run Barrier`
+		return
+	}
+	c.Barrier()
+}
+
+func badRankLoop(c *pcu.Ctx) {
+	for i := 0; i < c.Rank(); i++ { // want `loop iteration count is rank-dependent but the body runs collective Barrier; ranks iterating fewer times miss the collective and deadlock`
+		c.Barrier()
+	}
+}
+
+func badTaintedGuard(c *pcu.Ctx) {
+	// Not a lexical rank guard: the condition depends on rank through
+	// arithmetic dataflow.
+	double := c.Rank() * 2
+	if double > 3 { // want `rank-dependent branch yields divergent collective schedules: at the branch, the false path can finish its collectives while the true path must still run Barrier`
+		c.Barrier()
+	}
+}
+
+func badHelperSchedules(c *pcu.Ctx) {
+	// Helpers are transparent: seqBoth's schedule is Barrier·SumInt64,
+	// seqOne's is Barrier, so the arms diverge after Barrier.
+	if c.Rank() == 0 { // want `rank-dependent branch yields divergent collective schedules: after Barrier, the true path can finish its collectives while the false path must still run SumInt64`
+		seqOne(c)
+	} else {
+		seqBoth(c)
+	}
+}
+
+func seqOne(c *pcu.Ctx) { c.Barrier() }
+
+func seqBoth(c *pcu.Ctx) {
+	c.Barrier()
+	_ = pcu.SumInt64(c, 2)
+}

@@ -1,0 +1,49 @@
+package rankdiv
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+// myOffset's return value derives from the calling rank; the summary
+// layer records this so callers' guards become rank-dependent.
+func myOffset(c *pcu.Ctx) int { return c.Rank() * 2 }
+
+func badOffsetGuard(c *pcu.Ctx) {
+	off := myOffset(c)
+	if off > 0 {
+		c.Barrier() // want `collective Barrier is control-dependent on a rank-derived value \(via off, returned by myOffset -> Ctx\.Rank\) without a reconciling collective`
+	}
+}
+
+func badHelperUnderTaint(c *pcu.Ctx) {
+	// Rank-indexed data taints mine; the collective hides behind a
+	// helper, so the witness chain names the path down to it.
+	parts := []int{1, 2, 3, 4}
+	mine := parts[c.Rank()]
+	if mine > 2 {
+		syncAll(c) // want `collective reached through syncAll -> Ctx\.Barrier is control-dependent on a rank-derived value \(via mine, computed from Ctx\.Rank\(\)\) without a reconciling collective`
+	}
+}
+
+func syncAll(c *pcu.Ctx) { c.Barrier() }
+
+func badTaintedLoop(c *pcu.Ctx) {
+	n := c.Rank() * 2
+	for i := 0; i < n; i++ { // want `loop bound is rank-derived \(via n, computed from Ctx\.Rank\(\)\) and the body runs collective Barrier; ranks iterate different numbers of times and deadlock`
+		c.Barrier()
+	}
+}
+
+func badTaintedRange(c *pcu.Ctx) {
+	data := make([]int, c.Rank())
+	for range data { // want `loop bound is rank-derived \(via data, computed from Ctx\.Rank\(\)\) and the body runs collective SumInt64; ranks iterate different numbers of times and deadlock`
+		_ = pcu.SumInt64(c, 1)
+	}
+}
+
+func badChainedTaint(c *pcu.Ctx) {
+	// Taint propagates through assignment chains: off -> shifted.
+	off := myOffset(c)
+	shifted := off + 1
+	if shifted%3 == 0 {
+		_ = pcu.SumInt64(c, 7) // want `collective SumInt64 is control-dependent on a rank-derived value \(via shifted, via off, returned by myOffset -> Ctx\.Rank\) without a reconciling collective`
+	}
+}

@@ -193,9 +193,17 @@ func decodePart(data []byte, pid int32, model *gmi.Model, dim int) (*partition.P
 	return p, res, nil
 }
 
-// gatherErrors is the collective agreement step: every rank contributes
+// GatherErrors is the collective agreement step: every rank contributes
 // its local error (or none) and all ranks return the same combined
-// error, so a local file failure cannot desynchronize the world.
+// error, so a local failure on one rank cannot desynchronize the world.
+// Use it to reconcile rank-local failures (file loads on rank 0, local
+// validation) before the next collective; returning early from only the
+// failing rank leaves the others blocked in the schedule.
+func GatherErrors(ctx *pcu.Ctx, localErr error, doing string) error {
+	return gatherErrors(ctx, localErr, doing)
+}
+
+// gatherErrors is the collective agreement step behind GatherErrors.
 func gatherErrors(ctx *pcu.Ctx, localErr error, doing string) error {
 	s := ""
 	if localErr != nil {

@@ -199,6 +199,7 @@ func TestGhostCopiesBackLinksAndNeighborRanks(t *testing.T) {
 		dm := distributeByX(ctx, model.Model, func() *mesh.Mesh {
 			return meshgen.Box3D(model, 2, 1, 1)
 		}, 1, 2)
+		//pumi-vet:ignore collseq // assertion failure ends the run; poisoning unblocks peers
 		if got := NeighborRanks(dm); len(got) != 1 || got[0] != 1-ctx.Rank() {
 			return fmt.Errorf("NeighborRanks = %v", got)
 		}

@@ -332,6 +332,7 @@ func TestTagsTravelWithMigration(t *testing.T) {
 	err := pcu.Run(2, func(ctx *pcu.Ctx) error {
 		model := gmi.Box(2, 1, 1)
 		var serial *mesh.Mesh
+		//pumi-vet:ignore collseq // setup failure ends the run; poisoning unblocks peers
 		if ctx.Rank() == 0 {
 			serial = meshgen.Box3D(model, 4, 2, 2)
 			// Tag every element and vertex before distribution.

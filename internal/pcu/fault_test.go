@@ -72,6 +72,7 @@ func TestSkippedExchangeDiagnosedByWatchdog(t *testing.T) {
 	// naming the stalled ranks and their phase counts — the run must
 	// never hang until the Go test timeout.
 	_, err := RunOpt(4, Options{StallTimeout: 5 * time.Second}, func(c *Ctx) error {
+		//pumi-vet:ignore collseq // deliberate divergence: the watchdog must catch it
 		if c.Rank() == 0 {
 			return nil // never calls Exchange
 		}
@@ -111,6 +112,7 @@ func TestMismatchedCollectiveDiagnosedByWatchdog(t *testing.T) {
 	// finishes they are parked for good.
 	_, err := RunOpt(4, Options{StallTimeout: 5 * time.Second}, func(c *Ctx) error {
 		c.Barrier()
+		//pumi-vet:ignore collseq // deliberate divergence: the watchdog must catch it
 		if c.Rank() != 0 {
 			SumInt64(c, 1) //pumi-vet:ignore collmismatch
 		}

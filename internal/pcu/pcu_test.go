@@ -52,6 +52,7 @@ func TestRunPropagatesErrors(t *testing.T) {
 
 func TestRunPanicDoesNotDeadlock(t *testing.T) {
 	err := Run(4, func(c *Ctx) error {
+		//pumi-vet:ignore collseq // deliberate divergence: panic poisoning must unblock peers
 		if c.Rank() == 2 {
 			panic("dead rank")
 		}
@@ -114,6 +115,7 @@ func TestBcastReduceGatherScan(t *testing.T) {
 			return fmt.Errorf("bcast = %d", v)
 		}
 		sum := Reduce(c, 0, int64(1), func(a, b int64) int64 { return a + b })
+		//pumi-vet:ignore collseq // assertion failure ends the run; poisoning unblocks peers
 		if c.Rank() == 0 && sum != 5 {
 			return fmt.Errorf("reduce = %d", sum)
 		}
@@ -228,6 +230,7 @@ func TestTopologyAwareStats(t *testing.T) {
 	// 2 nodes x 2 cores: ranks 0,1 on node 0; ranks 2,3 on node 1.
 	topo := hwtopo.Cluster(2, 2)
 	stats, err := RunOn(4, topo, func(c *Ctx) error {
+		//pumi-vet:ignore collseq // assertion failure ends the run; poisoning unblocks peers
 		if c.Rank() == 0 {
 			if !c.SameNode(1) || c.SameNode(2) {
 				return errors.New("SameNode wrong")

@@ -54,6 +54,7 @@ func TestSanitizeCleanRun(t *testing.T) {
 func TestSanitizeDivergence(t *testing.T) {
 	_, err := RunOpt(2, Options{Sanitize: true}, func(c *Ctx) error {
 		c.Barrier() // op 0: uniform
+		//pumi-vet:ignore collseq // deliberate divergence: the sanitizer must catch it
 		if c.Rank() == 0 {
 			c.Barrier() // op 1: rank 0 enters barrier...
 		} else {
@@ -87,6 +88,7 @@ func TestSanitizeDivergenceDeterministic(t *testing.T) {
 	run := func() string {
 		_, err := RunOpt(3, Options{Sanitize: true}, func(c *Ctx) error {
 			SumInt64(c, 1)
+			//pumi-vet:ignore collseq // deliberate divergence: the sanitizer must catch it
 			if c.Rank() == 2 {
 				c.Barrier()
 			} else {
@@ -181,6 +183,7 @@ func TestSanSummaryLedger(t *testing.T) {
 		}
 		// A failed run must not pollute the ledger.
 		if _, err := RunOpt(2, Options{Sanitize: true}, func(c *Ctx) error {
+			//pumi-vet:ignore collseq // deliberate divergence: the sanitizer must catch it
 			if c.Rank() == 0 {
 				c.Barrier() // deliberate divergence
 			} else {
