@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos san-smoke trace-smoke check
+.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos chaos-recover san-smoke trace-smoke check
 
 all: build
 
@@ -61,6 +61,13 @@ sarif-smoke:
 chaos:
 	$(GO) test -race -count=1 -run 'TestSoak' ./internal/chaos/
 
+# Race-enabled self-healing soak: every FaultKind through the outcome
+# matrix, plus seeded permanent rank-kills that must shrink the world,
+# restore the last checkpoint, and finish Verify-green
+# (see DESIGN.md §12).
+chaos-recover:
+	$(GO) test -race -count=1 -run 'TestFaultMatrix|TestRecoverable' ./internal/chaos/
+
 # pumi-san smoke: the faulted balancing stack under the runtime
 # sanitizer with the race detector on — collective schedules
 # cross-checked at every sync point, mesh writes checked for ownership
@@ -77,4 +84,4 @@ trace-smoke:
 	$(GO) run ./cmd/pumi-trace -validate /tmp/pumi-trace-smoke.json /tmp/pumi-trace-smoke.summary.json
 
 # The full local gate: what CI runs.
-check: vet vet-self sarif-smoke build test race chaos san-smoke trace-smoke bench-smoke
+check: vet vet-self sarif-smoke build test race chaos chaos-recover san-smoke trace-smoke bench-smoke

@@ -8,6 +8,7 @@
 //	pumi-bench -exp table2 -ns 80 -n 20 -parts 64 -ranks 16
 //	pumi-bench -exp fig13 -parts 32
 //	pumi-bench -chaos 1,2,3,4 -chaos-dir /tmp/ck
+//	pumi-bench -chaos 1,2,3,4 -recover
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts parallel runs with a structured error")
 	chaosSeeds := flag.String("chaos", "", "comma-separated seeds: run the fault-injection soak instead of experiments")
 	chaosDir := flag.String("chaos-dir", "", "checkpoint directory for -chaos (default a temp dir)")
+	chaosRecover := flag.Bool("recover", false, "with -chaos: run the self-healing soak (survivable world, shrink-and-recover) instead of the restart soak")
 	jsonOut := flag.String("json", "", "run the PCU microbenchmark suite instead of experiments and write machine-readable results to FILE ('-' for stdout)")
 	sanitize := flag.Bool("san", false, "run everything under pumi-san: cross-check collective schedules across ranks, enforce owner-only mesh writes, and print the op-sequence hash at exit")
 	tracePath := flag.String("trace", "", cmdutil.TraceUsage)
@@ -47,7 +49,7 @@ func main() {
 	}
 
 	if *chaosSeeds != "" {
-		runChaos(*chaosSeeds, *chaosDir, *sanitize)
+		runChaos(*chaosSeeds, *chaosDir, *sanitize, *chaosRecover)
 		sanReport(*sanitize)
 		return
 	}
@@ -181,8 +183,12 @@ func sanReport(on bool) {
 // runChaos drives one fault-injection soak per seed: a balancing run
 // under the seed's fault plan that must end cleanly or with a
 // structured failure, followed by a checkpoint restart when one was
-// committed. Any unclassifiable outcome fails the command.
-func runChaos(seeds, dir string, sanitize bool) {
+// committed. Any unclassifiable outcome fails the command. With
+// recover, the soak runs self-healing instead: a Survivable world
+// retries transient wire damage in place, and a permanent rank death
+// shrinks the world over the survivors and resumes from the last
+// checkpoint.
+func runChaos(seeds, dir string, sanitize, recover bool) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "pumi-chaos-*")
 		if err != nil {
@@ -200,12 +206,21 @@ func runChaos(seeds, dir string, sanitize bool) {
 		if err := os.MkdirAll(ckdir, 0o755); err != nil {
 			cmdutil.Fail(err)
 		}
-		out, err := chaos.Soak(chaos.Config{
+		cfg := chaos.Config{
 			Seed:         seed,
 			Dir:          ckdir,
 			StallTimeout: 30 * time.Second,
 			Sanitize:     sanitize,
-		})
+		}
+		if recover {
+			out, err := chaos.RunRecoverable(cfg)
+			if err != nil {
+				cmdutil.Fail(err)
+			}
+			fmt.Println(out)
+			continue
+		}
+		out, err := chaos.Soak(cfg)
 		if err != nil {
 			cmdutil.Fail(err)
 		}

@@ -18,7 +18,6 @@ import (
 	"github.com/fastmath/pumi-go/internal/mesh"
 	"github.com/fastmath/pumi-go/internal/meshgen"
 	"github.com/fastmath/pumi-go/internal/meshio"
-	"github.com/fastmath/pumi-go/internal/parma"
 	"github.com/fastmath/pumi-go/internal/partition"
 	"github.com/fastmath/pumi-go/internal/pcu"
 	"github.com/fastmath/pumi-go/internal/san"
@@ -34,6 +33,10 @@ type Config struct {
 	// Seed generates the fault plan; the same seed always yields the
 	// same plan and, for non-timing faults, the same failure.
 	Seed int64
+	// Plan, when non-nil, replaces the seed-derived random plan with an
+	// explicit fault schedule (the fault-matrix tests aim one kind at a
+	// known operation).
+	Plan *pcu.FaultPlan
 	// Ranks is the world size, split across two nodes so the wire
 	// faults have framed off-node traffic to hit. Must be even.
 	// Default 4.
@@ -133,7 +136,10 @@ func Soak(cfg Config) (Outcome, error) {
 	if cfg.Ranks%2 != 0 {
 		return Outcome{}, fmt.Errorf("chaos: Ranks must be even, got %d", cfg.Ranks)
 	}
-	plan := pcu.RandomFaultPlan(cfg.Seed, cfg.Ranks, cfg.MaxOp)
+	plan := cfg.Plan
+	if plan == nil {
+		plan = pcu.RandomFaultPlan(cfg.Seed, cfg.Ranks, cfg.MaxOp)
+	}
 	out := Outcome{Plan: plan.String()}
 	topo := hwtopo.Cluster(2, cfg.Ranks/2)
 	logf(cfg, "chaos: %s\n", plan)
@@ -254,20 +260,10 @@ func verifyAfterAbort(dm *partition.DMesh, abort error) error {
 // still consistent if the balance aborts. Returns the final peak
 // element imbalance.
 func balanceCheckpointed(dm *partition.DMesh, cfg Config) (float64, error) {
-	pcfg := parma.DefaultConfig()
-	pcfg.Tolerance = cfg.Tolerance
-	pcfg.MaxIters = cfg.MaxIters
-	pcfg.OnIter = func(dm *partition.DMesh, dim, iter int) error {
-		return meshio.SaveCheckpoint(cfg.Dir, dm, meshio.Cursor{Phase: "parma", Level: dim, Iter: iter})
-	}
-	pri, _ := parma.ParsePriority("Rgn")
-	if _, err := parma.BalanceSafe(dm, pri, pcfg); err != nil {
-		// The abort contract: whatever the wire fault did, the local
-		// mesh must still verify before we surface the abort.
-		return 0, verifyAfterAbort(dm, err)
-	}
-	_, imb := partition.EntityImbalance(dm, dm.Dim)
-	return imb, nil
+	// The abort contract: whatever the wire fault did, the local mesh
+	// must still verify before the abort surfaces (balanceResumed runs
+	// verifyAfterAbort on failure).
+	return balanceResumed(dm, cfg, meshio.Cursor{})
 }
 
 // classifyFailure maps a run error to the structured failure taxonomy;
@@ -276,6 +272,8 @@ func classifyFailure(err error) string {
 	switch {
 	case errors.Is(err, pcu.ErrStalled):
 		return "stall"
+	case errors.Is(err, pcu.ErrRevoked):
+		return "revoked"
 	case errors.Is(err, pcu.ErrFaultInjected):
 		return "injected-panic"
 	case errors.Is(err, partition.ErrMigrateAborted):

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"github.com/fastmath/pumi-go/internal/pcu"
+)
+
+// The workload's deterministic op timeline (probed fault-free): setup
+// migration ends at op 6, the first checkpoint commits at op 20, and
+// each balancing iteration spans ~14 ops. Rank 1's op 13 is an exchange
+// inside iteration 0's migration where it sends off-node (wire damage
+// there exercises the retransmit layer); op 40 is past two committed
+// checkpoints (a death there must recover from one).
+const (
+	opInsideMigration  = 13
+	opAfterCheckpoints = 40
+)
+
+// TestFaultMatrixClassification drives every FaultKind through the
+// self-healing soak and asserts it lands on the expected terminal
+// outcome — the transient kinds are mitigated in-world, a permanent
+// death shrinks and recovers, and a panic stays a structured failure.
+func TestFaultMatrixClassification(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault pcu.Fault
+		want  string
+	}{
+		{"panic", pcu.Fault{Rank: 1, Op: opAfterCheckpoints, Kind: pcu.FaultPanic}, "injected-panic"},
+		{"vanish", pcu.Fault{Rank: 1, Op: opAfterCheckpoints, Kind: pcu.FaultVanish}, "recovered-shrink"},
+		{"delay", pcu.Fault{Rank: 1, Op: opAfterCheckpoints, Kind: pcu.FaultDelay, Delay: 5 * time.Millisecond}, "clean"},
+		{"corrupt", pcu.Fault{Rank: 1, Op: opInsideMigration, Kind: pcu.FaultCorrupt}, "retried-transient"},
+		{"truncate", pcu.Fault{Rank: 1, Op: opInsideMigration, Kind: pcu.FaultTruncate}, "retried-transient"},
+		{"duplicate", pcu.Fault{Rank: 1, Op: opInsideMigration, Kind: pcu.FaultDuplicate}, "retried-transient"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := RunRecoverable(Config{
+				Plan:         &pcu.FaultPlan{Faults: []pcu.Fault{tc.fault}},
+				Dir:          t.TempDir(),
+				StallTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("harness failure: %v", err)
+			}
+			if out.Outcome != tc.want {
+				t.Fatalf("fault %v classified %q, want %q\n%s", tc.fault, out.Outcome, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestRecoverableShrinkDetails pins the full recovery contract for a
+// permanent mid-soak death: survivors agree on the failed rank, the
+// world shrinks to the largest divisor of the part count, the last
+// checkpoint restores, and the final mesh verifies.
+func TestRecoverableShrinkDetails(t *testing.T) {
+	out, err := RunRecoverable(Config{
+		Plan:         &pcu.FaultPlan{Faults: []pcu.Fault{{Rank: 1, Op: opAfterCheckpoints, Kind: pcu.FaultVanish}}},
+		Dir:          t.TempDir(),
+		StallTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("harness failure: %v", err)
+	}
+	if out.Outcome != "recovered-shrink" {
+		t.Fatalf("want recovered-shrink, got %s", out)
+	}
+	if out.Attempts != 2 {
+		t.Fatalf("want 2 attempts, got %d", out.Attempts)
+	}
+	// 4 parts, 3 survivors: the recovery world is the largest divisor of
+	// 4 that 3 survivors can host — 2 ranks.
+	if !slices.Equal(out.Sizes, []int{4, 2}) {
+		t.Fatalf("want world sizes [4 2], got %v", out.Sizes)
+	}
+	if !slices.Equal(out.Failed, []int{1}) {
+		t.Fatalf("want convicted ranks [1], got %v", out.Failed)
+	}
+	if !out.Resumed {
+		t.Fatal("recovery should restore the committed checkpoint, not rebuild from scratch")
+	}
+	if !out.Verified {
+		t.Fatal("recovered mesh must pass the distributed verifier")
+	}
+}
+
+// TestRecoverableDeterministicPerSeed reruns the same explicit plan and
+// asserts the recovery trajectory is identical — the acceptance bar for
+// replayable failure investigations.
+func TestRecoverableDeterministicPerSeed(t *testing.T) {
+	run := func() RecoverOutcome {
+		t.Helper()
+		out, err := RunRecoverable(Config{
+			Seed:         7,
+			Plan:         &pcu.FaultPlan{Seed: 7, Faults: []pcu.Fault{{Rank: 2, Op: opAfterCheckpoints, Kind: pcu.FaultVanish}}},
+			Dir:          t.TempDir(),
+			StallTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("harness failure: %v", err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.Outcome != b.Outcome || a.Attempts != b.Attempts ||
+		!slices.Equal(a.Sizes, b.Sizes) || !slices.Equal(a.Failed, b.Failed) {
+		t.Fatalf("same plan diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRecoverableVanishBeforeCheckpoint: a death before the first
+// checkpoint commits still recovers — the shrunken world rebuilds the
+// workload from scratch instead of restoring.
+func TestRecoverableVanishBeforeCheckpoint(t *testing.T) {
+	out, err := RunRecoverable(Config{
+		Plan:         &pcu.FaultPlan{Faults: []pcu.Fault{{Rank: 3, Op: 3, Kind: pcu.FaultVanish}}},
+		Dir:          t.TempDir(),
+		StallTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("harness failure: %v", err)
+	}
+	if out.Outcome != "recovered-shrink" {
+		t.Fatalf("want recovered-shrink, got %s", out)
+	}
+	if out.Resumed {
+		t.Fatal("no checkpoint existed; recovery should rebuild from scratch")
+	}
+	if !out.Verified {
+		t.Fatal("recovered mesh must pass the distributed verifier")
+	}
+}

@@ -34,6 +34,7 @@ const (
 	checkpointMagic  = "pumi-checkpoint-v1"
 	partMagic        = "PUMICK01"
 	manifestName     = "checkpoint.json"
+	prevManifestName = "checkpoint.prev.json"
 	partFilePattern  = "g%d-part-%04d.pumip"
 	partFileGlobStar = "g*-part-*.pumip"
 )
@@ -70,7 +71,11 @@ func CheckpointExists(dir string) bool {
 }
 
 func readManifest(dir string) (*checkpointManifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	return readManifestFile(dir, manifestName)
+}
+
+func readManifestFile(dir, name string) (*checkpointManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +313,9 @@ func SaveCheckpoint(dir string, dm *partition.DMesh, cur Cursor) error {
 				Cursor: cur,
 				Files:  files,
 			}
-			if err := commitManifest(dir, &man); err != nil {
+			if err := retireManifest(dir); err != nil {
+				commitErr = err.Error()
+			} else if err := commitManifest(dir, &man); err != nil {
 				commitErr = err.Error()
 			} else {
 				cleanupStale(dir, &man)
@@ -335,14 +342,40 @@ func commitManifest(dir string, man *checkpointManifest) error {
 	return os.Rename(tmp, path)
 }
 
-// cleanupStale removes part files not referenced by the committed
-// manifest (the previous checkpoint's generation). Best effort: a
-// leftover file can never be confused for current state, since loads go
-// through the manifest.
+// retireManifest moves the currently committed manifest into the
+// previous-epoch slot before a new commit replaces it, so the last two
+// checkpoint generations stay loadable (LoadCheckpoint falls back to
+// the previous epoch when the newest one fails validation). Each step
+// is an atomic rename: a crash anywhere leaves both slots readable.
+func retireManifest(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil // first checkpoint in this directory
+	}
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, prevManifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// cleanupStale removes part files referenced by neither the committed
+// manifest nor the retained previous epoch's, so exactly the last two
+// generations stay on disk. Best effort: a leftover file can never be
+// confused for current state, since loads go through a manifest.
 func cleanupStale(dir string, man *checkpointManifest) {
 	keep := map[string]bool{}
 	for _, f := range man.Files {
 		keep[f.Name] = true
+	}
+	if prev, err := readManifestFile(dir, prevManifestName); err == nil {
+		for _, f := range prev.Files {
+			keep[f.Name] = true
+		}
 	}
 	paths, _ := filepath.Glob(filepath.Join(dir, partFileGlobStar))
 	for _, p := range paths {
@@ -357,10 +390,42 @@ func cleanupStale(dir string, man *checkpointManifest) {
 // as long as it divides the part count. It is collective and returns
 // the same result on every rank: the restored mesh passes
 // partition.Verify, and the cursor tells the caller where to resume.
+//
+// When the newest epoch fails validation — an unreadable manifest, a
+// missing or damaged part file — LoadCheckpoint falls back to the
+// retained previous epoch (SaveCheckpoint keeps the last two
+// generations). The fallback decision is collective, so every rank
+// loads the same epoch.
 func LoadCheckpoint(dir string, ctx *pcu.Ctx, model *gmi.Model) (*partition.DMesh, Cursor, error) {
 	ctx.Trace().Begin("checkpoint.load")
 	defer ctx.Trace().End("checkpoint.load")
-	man, localErr := readManifest(dir)
+	dm, cur, err := loadEpoch(dir, manifestName, ctx, model)
+	if err == nil {
+		return dm, cur, nil
+	}
+	// The newest epoch is unreadable. The first-attempt error is already
+	// collective (gatherErrors), as is the fallback decision below, so
+	// every rank takes the same path.
+	hasPrev := false
+	if ctx.Rank() == 0 {
+		_, statErr := os.Stat(filepath.Join(dir, prevManifestName))
+		hasPrev = statErr == nil
+	}
+	if !pcu.Bcast(ctx, 0, hasPrev) {
+		return nil, Cursor{}, err
+	}
+	dm, cur, perr := loadEpoch(dir, prevManifestName, ctx, model)
+	if perr != nil {
+		return nil, Cursor{}, fmt.Errorf("meshio: newest checkpoint epoch unloadable (%v); previous epoch also unloadable: %w", err, perr)
+	}
+	return dm, cur, nil
+}
+
+// loadEpoch loads the checkpoint generation committed under the given
+// manifest file name. Collective; failures are reconciled so every rank
+// returns the same error.
+func loadEpoch(dir, manifest string, ctx *pcu.Ctx, model *gmi.Model) (*partition.DMesh, Cursor, error) {
+	man, localErr := readManifestFile(dir, manifest)
 	if err := gatherErrors(ctx, localErr, "loading checkpoint manifest"); err != nil {
 		return nil, Cursor{}, err
 	}

@@ -167,14 +167,16 @@ func TestCheckpointRestartOnDifferentRankCount(t *testing.T) {
 	}
 }
 
-func TestCheckpointSequenceAdvancesAndCleansStale(t *testing.T) {
+func TestCheckpointSequenceAdvancesAndRetainsTwoEpochs(t *testing.T) {
 	dir := t.TempDir()
 	err := pcu.Run(2, func(ctx *pcu.Ctx) error {
 		dm := buildDistributed(ctx, 1)
-		if err := SaveCheckpoint(dir, dm, Cursor{Iter: 1}); err != nil {
-			return err
+		for iter := 1; iter <= 3; iter++ {
+			if err := SaveCheckpoint(dir, dm, Cursor{Iter: iter}); err != nil {
+				return err
+			}
 		}
-		return SaveCheckpoint(dir, dm, Cursor{Iter: 2})
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -183,18 +185,110 @@ func TestCheckpointSequenceAdvancesAndCleansStale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if man.Seq != 2 || man.Cursor.Iter != 2 {
-		t.Fatalf("second save: seq=%d cursor=%+v", man.Seq, man.Cursor)
+	if man.Seq != 3 || man.Cursor.Iter != 3 {
+		t.Fatalf("third save: seq=%d cursor=%+v", man.Seq, man.Cursor)
 	}
+	prev, err := readManifestFile(dir, prevManifestName)
+	if err != nil {
+		t.Fatalf("previous epoch's manifest not retained: %v", err)
+	}
+	if prev.Seq != 2 || prev.Cursor.Iter != 2 {
+		t.Fatalf("previous epoch should be generation 2: seq=%d cursor=%+v", prev.Seq, prev.Cursor)
+	}
+	// Exactly the last two generations' part files stay on disk.
 	paths, _ := filepath.Glob(filepath.Join(dir, partFileGlobStar))
-	if len(paths) != 2 {
-		t.Fatalf("stale part files not cleaned: %v", paths)
+	if len(paths) != 4 {
+		t.Fatalf("want 4 part files (2 generations x 2 parts), got %v", paths)
 	}
 	for _, p := range paths {
-		if !strings.Contains(filepath.Base(p), "g2-") {
+		base := filepath.Base(p)
+		if !strings.HasPrefix(base, "g2-") && !strings.HasPrefix(base, "g3-") {
 			t.Fatalf("stale generation file survived: %s", p)
 		}
 	}
+}
+
+func TestCheckpointFallsBackToPreviousEpoch(t *testing.T) {
+	model := gmi.Box(4, 1, 1)
+	// Two saves retain two epochs with distinct cursors; corrupting the
+	// newest must make LoadCheckpoint come back with epoch 1's state.
+	save := func(dir string) {
+		t.Helper()
+		err := pcu.Run(2, func(ctx *pcu.Ctx) error {
+			dm := buildDistributed(ctx, 1)
+			if err := SaveCheckpoint(dir, dm, Cursor{Phase: "old", Iter: 1}); err != nil {
+				return err
+			}
+			return SaveCheckpoint(dir, dm, Cursor{Phase: "new", Iter: 2})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	loadCursor := func(dir string) (Cursor, error) {
+		var cur Cursor
+		err := pcu.Run(2, func(ctx *pcu.Ctx) error {
+			dm, c, err := LoadCheckpoint(dir, ctx, model.Model)
+			if err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				cur = c
+			}
+			return partition.Verify(dm)
+		})
+		return cur, err
+	}
+
+	t.Run("corrupt newest part file", func(t *testing.T) {
+		dir := t.TempDir()
+		save(dir)
+		man, _ := readManifest(dir)
+		path := filepath.Join(dir, man.Files[0].Name)
+		data, _ := os.ReadFile(path)
+		data[len(data)/2] ^= 0x40
+		os.WriteFile(path, data, 0o644)
+		cur, err := loadCursor(dir)
+		if err != nil {
+			t.Fatalf("load should fall back to the previous epoch: %v", err)
+		}
+		if cur.Phase != "old" || cur.Iter != 1 {
+			t.Fatalf("want previous epoch's cursor, got %+v", cur)
+		}
+	})
+	t.Run("corrupt newest manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		save(dir)
+		os.WriteFile(filepath.Join(dir, manifestName), []byte("{ not json"), 0o644)
+		cur, err := loadCursor(dir)
+		if err != nil {
+			t.Fatalf("load should fall back to the previous epoch: %v", err)
+		}
+		if cur.Phase != "old" || cur.Iter != 1 {
+			t.Fatalf("want previous epoch's cursor, got %+v", cur)
+		}
+	})
+	t.Run("both epochs corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		save(dir)
+		os.WriteFile(filepath.Join(dir, manifestName), []byte("{ not json"), 0o644)
+		os.WriteFile(filepath.Join(dir, prevManifestName), []byte("{ also bad"), 0o644)
+		_, err := loadCursor(dir)
+		if err == nil || !strings.Contains(err.Error(), "previous epoch also unloadable") {
+			t.Fatalf("want a both-epochs failure, got %v", err)
+		}
+	})
+	t.Run("healthy newest epoch wins", func(t *testing.T) {
+		dir := t.TempDir()
+		save(dir)
+		cur, err := loadCursor(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Phase != "new" || cur.Iter != 2 {
+			t.Fatalf("want newest epoch's cursor, got %+v", cur)
+		}
+	})
 }
 
 func TestCheckpointCorruptInputs(t *testing.T) {

@@ -224,6 +224,15 @@ func ReadAssignment(r io.Reader) ([]int32, error) {
 	if err := binary.Read(br, binary.LittleEndian, &out); err != nil {
 		return nil, err
 	}
+	// Reject corrupt part ids here, at the serial load boundary: a
+	// negative id surviving to PlansFromAssignment would blow up deep
+	// inside a collective migration instead of failing every rank with
+	// a structured error.
+	for i, p := range out {
+		if p < 0 {
+			return nil, fmt.Errorf("meshio: assignment entry %d has negative part id %d", i, p)
+		}
+	}
 	return out, nil
 }
 

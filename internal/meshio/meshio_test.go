@@ -142,6 +142,20 @@ func TestAssignmentRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAssignmentRejectsNegativePartID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, []int32{0, 1, -2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadAssignment(&buf)
+	if err == nil {
+		t.Fatal("negative part id accepted")
+	}
+	if !strings.Contains(err.Error(), "negative part id") {
+		t.Fatalf("unstructured error: %v", err)
+	}
+}
+
 func TestTagAndFieldRoundTrip(t *testing.T) {
 	model := gmi.Box(1, 1, 1)
 	m := meshgen.Box3D(model, 2, 2, 2)

@@ -67,14 +67,18 @@ func TestTryMigrateAbortLeavesSourceIntact(t *testing.T) {
 	// TryMigrate's blocking-op sequence after the probe point:
 	// +1 residence round one, +2 residence round two, +3 abort vote,
 	// +4 closure shipment, +5 abort vote, +6 commit restitch.
+	//
+	// The faults are Sticky: the transient-fault retry layer repairs a
+	// one-shot wire fault before TryMigrate ever sees it, so forcing the
+	// abort path requires damage that survives the retransmit budget.
 	cases := []struct {
 		name  string
 		fault pcu.Fault
 	}{
-		{"corrupt residence staging", pcu.Fault{Rank: 0, Op: base + 1, Kind: pcu.FaultCorrupt}},
-		{"truncate residence staging", pcu.Fault{Rank: 0, Op: base + 1, Kind: pcu.FaultTruncate}},
-		{"corrupt closure shipment", pcu.Fault{Rank: 0, Op: base + 4, Kind: pcu.FaultCorrupt}},
-		{"truncate closure shipment", pcu.Fault{Rank: 0, Op: base + 4, Kind: pcu.FaultTruncate}},
+		{"corrupt residence staging", pcu.Fault{Rank: 0, Op: base + 1, Kind: pcu.FaultCorrupt, Sticky: true}},
+		{"truncate residence staging", pcu.Fault{Rank: 0, Op: base + 1, Kind: pcu.FaultTruncate, Sticky: true}},
+		{"corrupt closure shipment", pcu.Fault{Rank: 0, Op: base + 4, Kind: pcu.FaultCorrupt, Sticky: true}},
+		{"truncate closure shipment", pcu.Fault{Rank: 0, Op: base + 4, Kind: pcu.FaultTruncate, Sticky: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,6 +86,7 @@ func TestTryMigrateAbortLeavesSourceIntact(t *testing.T) {
 			_, err := pcu.RunOpt(2, pcu.Options{
 				Topo:         topo,
 				Faults:       plan,
+				RetryBackoff: -1,
 				StallTimeout: 30 * time.Second,
 			}, func(ctx *pcu.Ctx) error {
 				dm, plans := abortSetup(ctx)
@@ -126,6 +131,31 @@ func abortSetup2(dm *DMesh, ctx *pcu.Ctx) (*DMesh, []Plan) {
 		}
 	}
 	return dm, plans
+}
+
+// TestTryMigrateSurvivesTransientFault: a non-sticky wire fault inside
+// the migration is repaired by the retransmit layer before TryMigrate's
+// validation sees it, so the migration completes instead of aborting.
+func TestTryMigrateSurvivesTransientFault(t *testing.T) {
+	topo := hwtopo.Cluster(2, 1)
+	plan := &pcu.FaultPlan{Faults: []pcu.Fault{{Rank: 0, Op: 10, Kind: pcu.FaultCorrupt}}}
+	st, err := pcu.RunOpt(2, pcu.Options{
+		Topo:         topo,
+		Faults:       plan,
+		StallTimeout: 30 * time.Second,
+	}, func(ctx *pcu.Ctx) error {
+		dm, plans := abortSetup(ctx)
+		if err := TryMigrate(dm, plans); err != nil {
+			return fmt.Errorf("rank %d: transient fault should be retried away: %w", ctx.Rank(), err)
+		}
+		return Verify(dm)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries == 0 {
+		t.Fatal("fault plan injected no recoverable wire damage; move the op index onto an off-node exchange")
+	}
 }
 
 // TestTryMigrateCleanPathUnchanged guards the refactor: a fault-free

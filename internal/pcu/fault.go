@@ -28,12 +28,17 @@ import (
 //     margins).
 //   - FaultCorrupt:   every off-node payload the rank sends during the
 //     op has one byte flipped after framing, like wire corruption. The
-//     receiver's CRC check rejects the frame and decoding surfaces a
-//     structured ErrCorruptMessage.
+//     receiver's CRC check rejects the frame; the transient-fault layer
+//     fetches a retransmit from the sender's kept copy and the exchange
+//     completes (counted in Stats.Retries). A Sticky corruption poisons
+//     the retransmits too, so the retry budget dies and decoding
+//     surfaces a structured ErrCorruptMessage naming the spent budget.
 //   - FaultTruncate:  off-node payloads sent during the op lose their
-//     tail; the frame length check rejects them at the receiver.
+//     tail; the frame length check rejects them at the receiver and the
+//     same retransmit path recovers them (or not, when Sticky).
 //   - FaultDuplicate: off-node payloads sent during the op are
-//     delivered twice; the frame sequence check rejects the replay.
+//     delivered twice; the frame sequence check detects the replay and
+//     drops it (counted in Stats.Replays), like any reliable transport.
 //
 // On-node messages travel by reference through shared memory and are
 // not subject to wire faults, matching the architecture the runtime
@@ -77,11 +82,20 @@ type Fault struct {
 	Op    int64
 	Kind  FaultKind
 	Delay time.Duration
+	// Sticky marks a wire fault (corrupt/truncate) as permanent for the
+	// affected frames: the sender's kept retransmission copies carry the
+	// same damage, so the receiver's retry budget is spent in vain and
+	// the failure escalates to a fatal ErrCorruptMessage. Non-sticky
+	// wire faults are transient — the first retransmit recovers them.
+	Sticky bool
 }
 
 func (f Fault) String() string {
 	if f.Kind == FaultDelay {
 		return fmt.Sprintf("rank %d %s %v at op %d", f.Rank, f.Kind, f.Delay, f.Op)
+	}
+	if f.Sticky {
+		return fmt.Sprintf("rank %d sticky %s at op %d", f.Rank, f.Kind, f.Op)
 	}
 	return fmt.Sprintf("rank %d %s at op %d", f.Rank, f.Kind, f.Op)
 }
@@ -172,17 +186,27 @@ func (e *FaultError) Error() string { return "pcu: injected fault: " + e.Fault.S
 func (e *FaultError) Unwrap() error { return ErrFaultInjected }
 
 // ErrCorruptMessage is wrapped by every frame-validation failure on an
-// off-node payload: CRC mismatch, truncation, or duplicated delivery.
-// The error surfaces when the receiver decodes the message.
+// off-node payload that the transient-fault layer could not repair:
+// the retransmit store had no copy of the frame, or the retry budget
+// died with every retransmit failing validation too. The error
+// surfaces when the receiver decodes the message.
 var ErrCorruptMessage = errors.New("pcu: corrupt off-node message")
 
 // CorruptError identifies one rejected off-node frame.
 type CorruptError struct {
 	From, To int
 	Reason   string
+	// Retries counts the retransmits the receiver fetched and
+	// revalidated before giving up; zero when no retransmit path was
+	// available (no fault plan armed, or retries disabled).
+	Retries int
 }
 
 func (e *CorruptError) Error() string {
+	if e.Retries > 0 {
+		return fmt.Sprintf("pcu: corrupt off-node message from rank %d to rank %d: %s (after %d retransmit(s))",
+			e.From, e.To, e.Reason, e.Retries)
+	}
 	return fmt.Sprintf("pcu: corrupt off-node message from rank %d to rank %d: %s",
 		e.From, e.To, e.Reason)
 }

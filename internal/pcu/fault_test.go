@@ -149,13 +149,19 @@ func TestFaultDelayCompletesClean(t *testing.T) {
 // offNodePair runs 2 ranks on separate nodes so all cross-rank traffic
 // is framed, with rank 0's first exchange subject to the given fault.
 func offNodePair(kind FaultKind, body func(*Ctx) error) error {
-	plan := &FaultPlan{Faults: []Fault{{Rank: 0, Op: 1, Kind: kind}}}
-	_, err := RunOpt(2, Options{
-		Topo:         hwtopo.Cluster(2, 1),
-		Faults:       plan,
-		StallTimeout: 5 * time.Second,
-	}, body)
+	_, err := offNodePairFault(Fault{Rank: 0, Op: 1, Kind: kind}, Options{}, body)
 	return err
+}
+
+// offNodePairFault is offNodePair with full control over the fault and
+// extra options, returning the run's stats for retry/replay assertions.
+func offNodePairFault(f Fault, opt Options, body func(*Ctx) error) (Stats, error) {
+	opt.Topo = hwtopo.Cluster(2, 1)
+	opt.Faults = &FaultPlan{Faults: []Fault{f}}
+	if opt.StallTimeout == 0 {
+		opt.StallTimeout = 5 * time.Second
+	}
+	return RunOpt(2, opt, body)
 }
 
 func exchangePairBody(c *Ctx) error {
@@ -169,8 +175,36 @@ func exchangePairBody(c *Ctx) error {
 	return nil
 }
 
-func TestFaultCorruptSurfacesStructuredError(t *testing.T) {
-	err := offNodePair(FaultCorrupt, exchangePairBody)
+func TestFaultCorruptRecoveredByRetry(t *testing.T) {
+	// A transient (non-sticky) wire corruption: the receiver's CRC check
+	// rejects the frame, the retransmit layer repairs it from the
+	// sender's kept copy, and the exchange completes cleanly.
+	st, err := offNodePairFault(Fault{Rank: 0, Op: 1, Kind: FaultCorrupt}, Options{}, exchangePairBody)
+	if err != nil {
+		t.Fatalf("transient corruption should be retried away: %v", err)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("want exactly 1 retried frame, got %d", st.Retries)
+	}
+}
+
+func TestFaultTruncateRecoveredByRetry(t *testing.T) {
+	st, err := offNodePairFault(Fault{Rank: 0, Op: 1, Kind: FaultTruncate}, Options{}, exchangePairBody)
+	if err != nil {
+		t.Fatalf("transient truncation should be retried away: %v", err)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("want exactly 1 retried frame, got %d", st.Retries)
+	}
+}
+
+func TestFaultCorruptStickySurfacesStructuredError(t *testing.T) {
+	// Sticky corruption damages the retransmits too: the retry budget
+	// dies and the failure escalates to the structured fatal error,
+	// naming the spent budget.
+	st, err := offNodePairFault(
+		Fault{Rank: 0, Op: 1, Kind: FaultCorrupt, Sticky: true},
+		Options{RetryBackoff: -1}, exchangePairBody)
 	if !errors.Is(err, ErrCorruptMessage) {
 		t.Fatalf("want ErrCorruptMessage, got %v", err)
 	}
@@ -184,10 +218,21 @@ func TestFaultCorruptSurfacesStructuredError(t *testing.T) {
 	if !strings.Contains(ce.Reason, "CRC") {
 		t.Fatalf("want CRC reason, got %q", ce.Reason)
 	}
+	if ce.Retries != DefaultRetryBudget {
+		t.Fatalf("want the full budget of %d retransmits spent, got %d", DefaultRetryBudget, ce.Retries)
+	}
+	if !strings.Contains(ce.Error(), "retransmit") {
+		t.Fatalf("error should name the spent retransmits: %v", ce)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("no retransmit succeeded, Stats.Retries should be 0, got %d", st.Retries)
+	}
 }
 
-func TestFaultTruncateSurfacesStructuredError(t *testing.T) {
-	err := offNodePair(FaultTruncate, exchangePairBody)
+func TestFaultTruncateStickySurfacesStructuredError(t *testing.T) {
+	_, err := offNodePairFault(
+		Fault{Rank: 0, Op: 1, Kind: FaultTruncate, Sticky: true},
+		Options{RetryBackoff: -1}, exchangePairBody)
 	if !errors.Is(err, ErrCorruptMessage) {
 		t.Fatalf("want ErrCorruptMessage, got %v", err)
 	}
@@ -196,33 +241,46 @@ func TestFaultTruncateSurfacesStructuredError(t *testing.T) {
 	}
 }
 
-func TestFaultDuplicateSurfacesStructuredError(t *testing.T) {
-	var goodFirst bool
-	err := offNodePair(FaultDuplicate, func(c *Ctx) error {
-		c.To(1 - c.Rank()).Int64(42)
-		msgs := c.Exchange()
-		if c.Rank() == 1 {
-			// The replayed frame arrives as a second message; the first
-			// copy must decode fine, the replay must be rejected.
-			if len(msgs) != 2 {
-				return fmt.Errorf("want 2 deliveries, got %d", len(msgs))
-			}
-			goodFirst = msgs[0].Data.Err() == nil && msgs[0].Data.Int64() == 42
-			if e := msgs[1].Data.Err(); !errors.Is(e, ErrCorruptMessage) {
-				return fmt.Errorf("replay not flagged: %v", e)
-			}
-			return nil
-		}
-		for _, m := range msgs {
-			m.Data.Int64()
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatalf("receiver handled the duplicate via Err, run should pass: %v", err)
+func TestFaultCorruptFatalWithRetryDisabled(t *testing.T) {
+	// RetryBudget < 0 restores the pre-retry contract: every validation
+	// failure is immediately fatal, with no retransmits spent.
+	_, err := offNodePairFault(
+		Fault{Rank: 0, Op: 1, Kind: FaultCorrupt},
+		Options{RetryBudget: -1}, exchangePairBody)
+	if !errors.Is(err, ErrCorruptMessage) {
+		t.Fatalf("want ErrCorruptMessage, got %v", err)
 	}
-	if !goodFirst {
-		t.Fatal("first copy of the duplicated frame should decode cleanly")
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Retries != 0 {
+		t.Fatalf("retry layer disabled, want 0 retransmits, got %d", ce.Retries)
+	}
+}
+
+func TestFaultDuplicateDroppedAsReplay(t *testing.T) {
+	// The replayed frame is detected by the sequence check and dropped,
+	// like any reliable transport's duplicate suppression: the receiver
+	// sees exactly one clean message and the run passes.
+	st, err := offNodePairFault(Fault{Rank: 0, Op: 1, Kind: FaultDuplicate}, Options{},
+		func(c *Ctx) error {
+			c.To(1 - c.Rank()).Int64(42)
+			msgs := c.Exchange()
+			if len(msgs) != 1 {
+				return fmt.Errorf("rank %d: want 1 delivery after duplicate suppression, got %d", c.Rank(), len(msgs))
+			}
+			if v := msgs[0].Data.Int64(); v != 42 {
+				return fmt.Errorf("rank %d decoded %d", c.Rank(), v)
+			}
+			msgs[0].Data.Done()
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("duplicate should be suppressed silently: %v", err)
+	}
+	if st.Replays != 1 {
+		t.Fatalf("want exactly 1 dropped replay, got %d", st.Replays)
 	}
 }
 

@@ -43,18 +43,29 @@ type RankSnapshot struct {
 	Blocked     bool
 	Done        bool
 	Vanished    bool
+	// SinceProgress is how long this rank's progress state had been
+	// unchanged when the diagnosis was taken (watchdog-observed, rounded
+	// to milliseconds), so a report distinguishes a slow rank — short
+	// SinceProgress, still moving — from a dead one stuck since the
+	// beginning of the stall window. Zero when the watchdog never saw
+	// the rank change (diagnosis on the first polls).
+	SinceProgress time.Duration
 }
 
 func (r RankSnapshot) describe() string {
+	idle := ""
+	if r.SinceProgress > 0 {
+		idle = fmt.Sprintf(", idle %v", r.SinceProgress)
+	}
 	switch {
 	case r.Vanished:
-		return fmt.Sprintf("rank %d vanished (colls=%d exchs=%d)", r.Rank, r.Collectives, r.Exchanges)
+		return fmt.Sprintf("rank %d vanished (colls=%d exchs=%d%s)", r.Rank, r.Collectives, r.Exchanges, idle)
 	case r.Done:
-		return fmt.Sprintf("rank %d finished (colls=%d exchs=%d)", r.Rank, r.Collectives, r.Exchanges)
+		return fmt.Sprintf("rank %d finished (colls=%d exchs=%d%s)", r.Rank, r.Collectives, r.Exchanges, idle)
 	case r.Blocked:
-		return fmt.Sprintf("rank %d blocked in %s (colls=%d exchs=%d)", r.Rank, r.Op, r.Collectives, r.Exchanges)
+		return fmt.Sprintf("rank %d blocked in %s (colls=%d exchs=%d%s)", r.Rank, r.Op, r.Collectives, r.Exchanges, idle)
 	default:
-		return fmt.Sprintf("rank %d computing (colls=%d exchs=%d)", r.Rank, r.Collectives, r.Exchanges)
+		return fmt.Sprintf("rank %d computing (colls=%d exchs=%d%s)", r.Rank, r.Collectives, r.Exchanges, idle)
 	}
 }
 
@@ -140,6 +151,7 @@ func (w *World) watch(timeout time.Duration, stop chan struct{}) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	var prev []RankSnapshot
+	var lastChange []time.Time
 	prevGen := -1
 	prevCertain := false
 	lastActivity := time.Now()
@@ -154,8 +166,45 @@ func (w *World) watch(timeout time.Duration, stop chan struct{}) {
 		}
 		snap := w.snapshot()
 		parked, gen := w.bar.state()
+		now := time.Now()
+		if lastChange == nil {
+			lastChange = make([]time.Time, len(snap))
+			for i := range lastChange {
+				lastChange[i] = now
+			}
+		}
+		for i := range snap {
+			if prev != nil && snap[i] != prev[i] {
+				lastChange[i] = now
+			}
+		}
+		// idleStamped fills each snapshot entry's time-since-progress
+		// right before a diagnosis is published.
+		idleStamped := func() []RankSnapshot {
+			for i := range snap {
+				snap[i].SinceProgress = now.Sub(lastChange[i]).Round(time.Millisecond)
+			}
+			return snap
+		}
+		var vanished []int
+		for _, r := range snap {
+			if r.Vanished {
+				vanished = append(vanished, r.Rank)
+			}
+		}
+		if w.survivable && len(vanished) > 0 {
+			// Feed suspicion to the agreement gate. A fresh conviction is
+			// activity: it may complete a pending Agree round, so give the
+			// survivors a poll to move before judging the run stuck.
+			if w.agree.suspect(vanished) {
+				lastActivity = now
+				prev, prevGen = snap, gen
+				prevCertain = false
+				continue
+			}
+		}
 		if gen != prevGen || !sameSnapshot(prev, snap) {
-			lastActivity = time.Now()
+			lastActivity = now
 			prev, prevGen = snap, gen
 			prevCertain = false
 			continue
@@ -170,25 +219,37 @@ func (w *World) watch(timeout time.Duration, stop chan struct{}) {
 			}
 		}
 		if !anyBlocked {
-			lastActivity = time.Now()
+			lastActivity = now
 			continue
 		}
-		// Certain only when every flagged rank has actually parked in
-		// the barrier (a rank between flagging and parking might still
-		// be the arrival that fills it and releases everyone).
-		certain := allStuck && parked == nBlocked
+		// Certain only when every flagged rank has actually parked — in
+		// the barrier or the Agree gate (a rank between flagging and
+		// parking might still be the arrival that fills the barrier and
+		// releases everyone).
+		certain := allStuck && parked+w.agree.parked() == nBlocked
 		if certain && prevCertain {
+			if w.survivable && len(vanished) > 0 {
+				// The dead ranks block the survivors forever: revoke the
+				// world with a consistent conviction instead of reporting
+				// an undiagnosed stall.
+				w.revoke(vanished)
+				return
+			}
 			w.stall(&StallError{
 				Reason: "deadlock: every rank is finished or blocked, none can advance",
-				Ranks:  snap,
+				Ranks:  idleStamped(),
 			})
 			return
 		}
 		prevCertain = certain
 		if time.Since(lastActivity) > timeout {
+			if w.survivable && len(vanished) > 0 {
+				w.revoke(vanished)
+				return
+			}
 			w.stall(&StallError{
 				Reason: fmt.Sprintf("no progress for %v", timeout),
-				Ranks:  snap,
+				Ranks:  idleStamped(),
 			})
 			return
 		}
@@ -213,5 +274,5 @@ func (w *World) stall(err *StallError) {
 		w.stallErr = err
 	}
 	w.stallMu.Unlock()
-	w.bar.poisonWith(err)
+	w.poisonWith(err)
 }

@@ -28,6 +28,13 @@ type Stats struct {
 	OnNodeBytes  int64
 	OffNodeBytes int64
 	Collectives  int64
+	// Retries counts off-node frames recovered by the transient-fault
+	// retransmit layer: each one failed CRC/length validation on
+	// delivery and was repaired from the sender's kept copy.
+	Retries int64
+	// Replays counts duplicated off-node frames detected by the
+	// sequence check and dropped (duplicate suppression).
+	Replays int64
 	// SanHash is the run's combined op-sequence trace hash, valid after
 	// a sanitized run completes (zero otherwise). Identically-seeded
 	// sanitized runs produce identical hashes.
@@ -46,6 +53,26 @@ type Options struct {
 	// Zero selects DefaultStallTimeout; a negative value disables the
 	// watchdog entirely.
 	StallTimeout time.Duration
+	// RetryBudget bounds how many retransmits a receiver requests for
+	// one off-node frame that fails CRC/length validation before the
+	// failure escalates to a fatal ErrCorruptMessage. Zero selects
+	// DefaultRetryBudget; a negative value disables the transient-fault
+	// retry layer entirely (every validation failure is fatal, the
+	// pre-retry behavior). The layer only arms when Faults is non-nil —
+	// the sole source of wire damage — so fault-free runs never pay for
+	// it.
+	RetryBudget int
+	// RetryBackoff is the base exponential backoff before retransmit
+	// attempt k (the receiver waits RetryBackoff<<(k-1)). Zero selects
+	// DefaultRetryBackoff; a negative value retries without waiting.
+	RetryBackoff time.Duration
+	// Survivable arms ULFM-style failure mitigation: when a rank dies
+	// without teardown (FaultVanish, a real crash) and its surviving
+	// peers can no longer advance, the watchdog convicts the dead ranks
+	// and revokes the world with a *RevokedError naming them — instead
+	// of diagnosing an indistinguishable stall — so a supervisor
+	// (pcu.Supervise) can rebuild a shrunken world over the survivors.
+	Survivable bool
 	// Sanitize enables pumi-san's collective-schedule shadow checking
 	// for this run (see internal/san): each rank's op sequence is
 	// hashed and cross-checked at every sync point, and divergence
@@ -72,6 +99,21 @@ type World struct {
 	san    *sanState    // non-nil when the run is sanitized
 	tr     *trace.Trace // non-nil when the run is traced
 
+	// resend is the transient-fault retransmit store, armed only when
+	// the run carries a fault plan; retryLimit/retryDelay come from
+	// Options.RetryBudget/RetryBackoff.
+	resend     *resendStore
+	retryLimit int
+	retryDelay time.Duration
+
+	// survivable worlds revoke (instead of stalling) when ranks die;
+	// failed is the conviction list and agree the fault-tolerant
+	// agreement state, both fed by the watchdog.
+	survivable bool
+	failMu     sync.Mutex
+	failed     []bool
+	agree      agreeState
+
 	slots []any // collective scratch, one slot per rank
 
 	inboxes []inbox
@@ -83,6 +125,7 @@ type World struct {
 	stallErr *StallError
 
 	onMsgs, offMsgs, onBytes, offBytes, colls atomic.Int64
+	retries, replays                          atomic.Int64
 
 	counters perf.Counters
 	shards   []*perf.Shard // one counter shard per rank
@@ -99,6 +142,7 @@ var (
 	opBcast     = "bcast"
 	opAllgather = "allgather"
 	opExscan    = "exscan"
+	opAgree     = "agree"
 )
 
 // rankState is one rank's progress record, written lock-free by the
@@ -194,7 +238,7 @@ var worlds sync.Map // *World -> struct{}
 func AbortAll(cause error) int {
 	n := 0
 	worlds.Range(func(k, _ any) bool {
-		k.(*World).bar.poisonWith(cause)
+		k.(*World).poisonWith(cause)
 		n++
 		return true
 	})
@@ -231,14 +275,22 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 		return Stats{}, fmt.Errorf("pcu: %d ranks exceed topology %v", n, topo)
 	}
 	w := &World{
-		size:    n,
-		topo:    topo,
-		faults:  opt.Faults,
-		slots:   make([]any, n),
-		inboxes: make([]inbox, n),
-		ranks:   make([]rankState, n),
-		shards:  make([]*perf.Shard, n),
+		size:       n,
+		topo:       topo,
+		faults:     opt.Faults,
+		retryLimit: opt.RetryBudget,
+		retryDelay: opt.RetryBackoff,
+		survivable: opt.Survivable,
+		failed:     make([]bool, n),
+		slots:      make([]any, n),
+		inboxes:    make([]inbox, n),
+		ranks:      make([]rankState, n),
+		shards:     make([]*perf.Shard, n),
 	}
+	if opt.Faults != nil && opt.RetryBudget >= 0 {
+		w.resend = newResendStore()
+	}
+	w.agree.init(w)
 	for i := range w.shards {
 		w.shards[i] = w.counters.NewShard()
 	}
@@ -313,7 +365,7 @@ func (w *World) classify(rank int, rs *rankState, p any) error {
 	}
 	err, ok := p.(error)
 	if !ok {
-		w.bar.poison()
+		w.poison()
 		return fmt.Errorf("pcu: rank %d panicked: %v\n%s", rank, p, debug.Stack())
 	}
 	switch {
@@ -324,10 +376,10 @@ func (w *World) classify(rank int, rs *rankState, p any) error {
 		errors.Is(err, san.ErrDivergence) || errors.Is(err, san.ErrOwnership):
 		// Structured failure: keep the message deterministic (no stack)
 		// so a seeded replay produces an identical error.
-		w.bar.poison()
+		w.poison()
 		return fmt.Errorf("pcu: rank %d: %w", rank, err)
 	default:
-		w.bar.poison()
+		w.poison()
 		return fmt.Errorf("pcu: rank %d panicked: %v\n%s", rank, err, debug.Stack())
 	}
 }
@@ -359,6 +411,8 @@ func (w *World) Stats() Stats {
 		OnNodeBytes:  w.onBytes.Load(),
 		OffNodeBytes: w.offBytes.Load(),
 		Collectives:  w.colls.Load(),
+		Retries:      w.retries.Load(),
+		Replays:      w.replays.Load(),
 	}
 	if w.san != nil {
 		s.SanHash = w.san.final.Load()
@@ -605,18 +659,38 @@ func (c *Ctx) Exchange() []Message {
 			seq:     c.sendSeq[p],
 			phase:   phase,
 		}
+		if c.w.resend != nil {
+			// Keep what a retransmit would deliver: a pristine copy with
+			// matching framing. A Sticky wire fault damages the kept copy
+			// below, so retransmits fail validation too.
+			c.w.resend.keep(c.rank, p, d.seq, resentFrame{
+				data:    append([]byte(nil), cp...),
+				wantLen: d.wantLen,
+				crc:     d.crc,
+			})
+		}
 		if f := c.pendingFault; f != nil {
+			damage := func(kept *resentFrame) {}
 			switch f.Kind {
 			case FaultCorrupt:
 				if len(cp) > 0 {
 					cp[len(cp)/2] ^= 0x40 // wire corruption after framing
+					damage = func(kept *resentFrame) { kept.data[len(kept.data)/2] ^= 0x40 }
 				} else {
 					d.wantLen = 1 // nothing to flip; break the length instead
+					damage = func(kept *resentFrame) { kept.wantLen = 1 }
 				}
 			case FaultTruncate:
 				d.data = cp[:len(cp)/2]
+				damage = func(kept *resentFrame) { kept.data = kept.data[:len(kept.data)/2] }
 			case FaultDuplicate:
 				c.deliver(p, d) // replayed frame; the copy below is the dup
+			}
+			if f.Sticky && c.w.resend != nil {
+				if kept, ok := c.w.resend.fetch(c.rank, p, d.seq); ok {
+					damage(&kept)
+					c.w.resend.keep(c.rank, p, d.seq, kept)
+				}
 			}
 		}
 		c.deliver(p, d)
@@ -649,7 +723,9 @@ func (c *Ctx) Exchange() []Message {
 	slices.SortStableFunc(arrived, func(a, b delivery) int { return a.from - b.from })
 	mine := c.msgs[:0]
 	for _, d := range arrived {
-		mine = append(mine, c.accept(d))
+		if m, keep := c.accept(d); keep {
+			mine = append(mine, m)
+		}
 	}
 	c.msgs = mine
 	if c.w.san != nil {
@@ -661,39 +737,55 @@ func (c *Ctx) Exchange() []Message {
 	return mine
 }
 
-// accept validates one delivery's frame. A frame that fails length, CRC
-// or sequence validation yields a Message whose Reader fails with a
-// *CorruptError on first decode, so corruption can never be silently
-// skipped.
-func (c *Ctx) accept(d delivery) Message {
+// accept validates one delivery's frame. A replayed frame (sequence
+// number already delivered) is dropped — duplicate suppression, keep
+// is false. A frame failing length or CRC validation goes through the
+// transient-fault retransmit protocol (recoverFrame); only when that
+// cannot repair it does accept yield a Message whose Reader fails with
+// a *CorruptError on first decode, so unrecoverable corruption can
+// never be silently skipped.
+func (c *Ctx) accept(d delivery) (Message, bool) {
 	if !d.framed {
-		return Message{From: d.from, Data: c.pooledReader(d.data)}
+		return Message{From: d.from, Data: c.pooledReader(d.data)}, true
 	}
 	if c.recvSeq == nil {
 		c.recvSeq = make([]int64, c.w.size)
 	}
-	corrupt := func(reason string) Message {
+	corrupt := func(reason string, retries int) (Message, bool) {
 		return Message{From: d.from, Data: failedReader(&CorruptError{
-			From: d.from, To: c.rank, Reason: reason,
-		})}
+			From: d.from, To: c.rank, Reason: reason, Retries: retries,
+		})}, true
 	}
 	want := c.recvSeq[d.from] + 1
 	switch {
 	case d.seq < want:
-		// Replayed frame: already delivered; do not advance the cursor.
-		return corrupt(fmt.Sprintf("duplicated frame: seq %d delivered twice", d.seq))
+		// Replayed frame: already delivered. Drop it like any reliable
+		// transport's duplicate suppression and recycle the copy.
+		c.w.replays.Add(1)
+		c.Counters().Add("pcu.replay", 1)
+		c.tr.Fault("replay-drop", d.seq)
+		c.releaseBuf(d.data)
+		return Message{}, false
 	case d.seq > want:
 		c.recvSeq[d.from] = d.seq
-		return corrupt(fmt.Sprintf("lost frame: expected seq %d, got %d", want, d.seq))
+		return corrupt(fmt.Sprintf("lost frame: expected seq %d, got %d", want, d.seq), 0)
 	}
 	c.recvSeq[d.from] = d.seq
-	if len(d.data) != d.wantLen {
-		return corrupt(fmt.Sprintf("truncated frame: length %d, frame header says %d", len(d.data), d.wantLen))
+	badLen := len(d.data) != d.wantLen
+	if badLen || crc32.ChecksumIEEE(d.data) != d.crc {
+		if data, retries, ok := c.recoverFrame(d); ok {
+			c.releaseBuf(d.data)
+			return Message{From: d.from, Data: c.pooledReader(data)}, true
+		} else if badLen {
+			return corrupt(fmt.Sprintf("truncated frame: length %d, frame header says %d", len(d.data), d.wantLen), retries)
+		} else {
+			return corrupt("CRC mismatch", retries)
+		}
 	}
-	if crc32.ChecksumIEEE(d.data) != d.crc {
-		return corrupt("CRC mismatch")
+	if s := c.w.resend; s != nil {
+		s.ack(d.from, c.rank, d.seq)
 	}
-	return Message{From: d.from, Data: c.pooledReader(d.data)}
+	return Message{From: d.from, Data: c.pooledReader(d.data)}, true
 }
 
 // Barrier blocks until all ranks have called it.
