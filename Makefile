@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos chaos-recover san-smoke trace-smoke check
+.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos chaos-recover san-smoke trace-smoke proto-gen proto-check conform-smoke check
 
 all: build
 
@@ -14,12 +14,13 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Regenerate the committed machine-readable benchmark results
-# (BENCH_pr5.json reflects the current tree; BENCH_baseline.json is the
+# (BENCH_pr8.json reflects the current tree; BENCH_baseline.json is the
 # frozen pre-overhaul reference — do not regenerate it). The /traced
-# rows measure the same exchange with the flight recorder armed, so the
-# file documents the tracing overhead (see DESIGN.md §10).
+# rows measure the same exchange with the flight recorder armed and the
+# /conform rows the same workload under the online protocol monitor, so
+# the file documents both overheads (see DESIGN.md §10 and §13).
 bench:
-	$(GO) run ./cmd/pumi-bench -json BENCH_pr5.json
+	$(GO) run ./cmd/pumi-bench -json BENCH_pr8.json
 
 # Go micro-benchmarks, benchstat-ready:
 #   make bench-go | benchstat -
@@ -83,5 +84,26 @@ trace-smoke:
 	$(GO) run ./cmd/pumi-bench -exp hybrid -san -trace /tmp/pumi-trace-smoke.json
 	$(GO) run ./cmd/pumi-trace -validate /tmp/pumi-trace-smoke.json /tmp/pumi-trace-smoke.summary.json
 
+# Regenerate the committed protocol-automata artifact: the communication
+# effect terms of the standard entry points compiled to minimal DFAs
+# (pumi-proto/1 JSON, see DESIGN.md §13). Run after any change that
+# moves a collective in parma.Balance, partition.Migrate, the meshio
+# checkpoints, pcu.Agree, or chaos.RunRecoverable.
+proto-gen:
+	$(GO) run ./cmd/pumi-vet -emit-automata ./... > internal/lint/automata/golden/automata.json
+
+# Build-time protocol gate: the committed artifact must match what the
+# current sources compile to. Drift means a collective schedule changed
+# without regenerating (make proto-gen) — review the diff, then commit.
+proto-check:
+	$(GO) run ./cmd/pumi-vet -emit-automata ./... > /tmp/pumi-proto-check.json
+	diff -u internal/lint/automata/golden/automata.json /tmp/pumi-proto-check.json
+
+# Conformance smoke: the race-enabled online+offline enforcement tests —
+# a seeded rank-kill soak under the golden chaos.RunRecoverable machine
+# with its trace replayed, and the pcu-level witness-matching checks.
+conform-smoke:
+	$(GO) test -race -count=1 -run 'TestConform' ./internal/pcu/ ./internal/chaos/
+
 # The full local gate: what CI runs.
-check: vet vet-self sarif-smoke build test race chaos chaos-recover san-smoke trace-smoke bench-smoke
+check: vet vet-self sarif-smoke proto-check build test race chaos chaos-recover san-smoke trace-smoke conform-smoke bench-smoke

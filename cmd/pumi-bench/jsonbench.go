@@ -25,6 +25,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/meshgen"
 	"github.com/fastmath/pumi-go/internal/partition"
 	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/san"
 	"github.com/fastmath/pumi-go/internal/trace"
 	"github.com/fastmath/pumi-go/internal/zpart"
 )
@@ -93,6 +94,10 @@ func runJSONBench(path string) {
 			fn: benchExchangeTraced(hwtopo.Cluster(1, exchangeRanks), false),
 		},
 		{
+			name: "exchange/sparse/on-node/conform", setBytes: 2 * exchangePayload,
+			fn: benchExchangeConform(hwtopo.Cluster(1, exchangeRanks), false),
+		},
+		{
 			name: "exchange/sparse/off-node", setBytes: 2 * exchangePayload,
 			fn:    benchExchange(hwtopo.Cluster(exchangeRanks, 1), false),
 			probe: probeExchange(hwtopo.Cluster(exchangeRanks, 1), false),
@@ -100,6 +105,10 @@ func runJSONBench(path string) {
 		{
 			name: "exchange/sparse/off-node/traced", setBytes: 2 * exchangePayload,
 			fn: benchExchangeTraced(hwtopo.Cluster(exchangeRanks, 1), false),
+		},
+		{
+			name: "exchange/sparse/off-node/conform", setBytes: 2 * exchangePayload,
+			fn: benchExchangeConform(hwtopo.Cluster(exchangeRanks, 1), false),
 		},
 		{
 			name: "exchange/dense/on-node", setBytes: exchangeRanks * exchangePayload,
@@ -112,6 +121,7 @@ func runJSONBench(path string) {
 			probe: probeExchange(hwtopo.Cluster(2, exchangeRanks/2), false),
 		},
 		{name: "collective/allreduce/ranks=8", fn: benchAllreduce},
+		{name: "collective/allreduce/ranks=8/conform", fn: benchAllreduceConform},
 		{name: "counters/add/ranks=8", fn: benchCounters},
 		{name: "migrate/box10/ranks=4", fn: benchMigrateOnce(false)},
 		{name: "migrate/box10/ranks=4/traced", fn: benchMigrateOnce(true)},
@@ -270,6 +280,32 @@ func benchExchangeTraced(topo hwtopo.Topology, dense bool) func(b *testing.B) {
 	}
 }
 
+// loopProtocol is a single accepting state with a self-loop on each op:
+// the cheapest automaton that accepts the benchmark workload, so the
+// /conform rows isolate the per-op monitor cost (one atomic step per
+// blocking op, zero steady-state allocations) from any protocol logic.
+func loopProtocol(ops ...string) *san.Protocol {
+	edges := map[string]int{}
+	for _, op := range ops {
+		edges[op] = 0
+	}
+	p, err := san.NewProtocol("bench.Loop", ops, 0, []bool{true}, []map[string]int{edges})
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+	return p
+}
+
+// benchExchangeConform is the same workload with the online protocol
+// monitor armed, so the /conform row vs its plain sibling documents the
+// conformance overhead on the exchange hot path.
+func benchExchangeConform(topo hwtopo.Topology, dense bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		opt := pcu.Options{Topo: topo, StallTimeout: -1, Conform: loopProtocol("exchange", "barrier")}
+		benchExchangeOpt(opt, dense)(b)
+	}
+}
+
 func benchExchangeOpt(opt pcu.Options, dense bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		payload := make([]byte, exchangePayload)
@@ -343,6 +379,23 @@ func probeExchange(topo hwtopo.Topology, dense bool) func() (pcu.Stats, int) {
 func benchAllreduce(b *testing.B) {
 	b.ResetTimer()
 	err := pcu.Run(exchangeRanks, func(c *pcu.Ctx) error {
+		for i := 0; i < b.N; i++ {
+			if got := pcu.SumInt64(c, 1); got != int64(c.Size()) {
+				return fmt.Errorf("allreduce = %d", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+}
+
+// benchAllreduceConform is the collective row under the online monitor.
+func benchAllreduceConform(b *testing.B) {
+	opt := pcu.Options{Conform: loopProtocol("allreduce")}
+	b.ResetTimer()
+	_, err := pcu.RunOpt(exchangeRanks, opt, func(c *pcu.Ctx) error {
 		for i := 0; i < b.N; i++ {
 			if got := pcu.SumInt64(c, 1); got != int64(c.Size()) {
 				return fmt.Errorf("allreduce = %d", got)

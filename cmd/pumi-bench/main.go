@@ -9,6 +9,7 @@
 //	pumi-bench -exp fig13 -parts 32
 //	pumi-bench -chaos 1,2,3,4 -chaos-dir /tmp/ck
 //	pumi-bench -chaos 1,2,3,4 -recover
+//	pumi-bench -chaos 5 -recover -conform automata.json -trace soak.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/chaos"
 	"github.com/fastmath/pumi-go/internal/cmdutil"
 	"github.com/fastmath/pumi-go/internal/experiments"
+	"github.com/fastmath/pumi-go/internal/lint/automata"
 	"github.com/fastmath/pumi-go/internal/pcu"
 	"github.com/fastmath/pumi-go/internal/san"
 )
@@ -39,6 +41,7 @@ func main() {
 	chaosRecover := flag.Bool("recover", false, "with -chaos: run the self-healing soak (survivable world, shrink-and-recover) instead of the restart soak")
 	jsonOut := flag.String("json", "", "run the PCU microbenchmark suite instead of experiments and write machine-readable results to FILE ('-' for stdout)")
 	sanitize := flag.Bool("san", false, "run everything under pumi-san: cross-check collective schedules across ranks, enforce owner-only mesh writes, and print the op-sequence hash at exit")
+	conformFile := flag.String("conform", "", "with -chaos -recover: pumi-proto/1 automata artifact (pumi-vet -emit-automata); every world of the soak runs under the chaos.RunRecoverable machine's online protocol monitor")
 	tracePath := flag.String("trace", "", cmdutil.TraceUsage)
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
@@ -48,8 +51,12 @@ func main() {
 		pcu.SetDefaultSanitize(true)
 	}
 
+	if *conformFile != "" && (*chaosSeeds == "" || !*chaosRecover) {
+		cmdutil.Usagef("-conform requires -chaos and -recover (the artifact's machine describes the self-healing soak)")
+	}
+
 	if *chaosSeeds != "" {
-		runChaos(*chaosSeeds, *chaosDir, *sanitize, *chaosRecover)
+		runChaos(*chaosSeeds, *chaosDir, *sanitize, *chaosRecover, loadConform(*conformFile))
 		sanReport(*sanitize)
 		return
 	}
@@ -188,7 +195,28 @@ func sanReport(on bool) {
 // retries transient wire damage in place, and a permanent rank death
 // shrinks the world over the survivors and resumes from the last
 // checkpoint.
-func runChaos(seeds, dir string, sanitize, recover bool) {
+// loadConform resolves -conform: the chaos.RunRecoverable machine of a
+// pumi-proto/1 artifact as an online protocol, or nil when unset.
+func loadConform(path string) *san.Protocol {
+	if path == "" {
+		return nil
+	}
+	set, err := automata.LoadFile(path)
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+	m := set.Find("chaos.RunRecoverable")
+	if m == nil {
+		cmdutil.Usagef("%s holds no chaos.RunRecoverable machine", path)
+	}
+	p, err := m.Protocol()
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+	return p
+}
+
+func runChaos(seeds, dir string, sanitize, recover bool, conform *san.Protocol) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "pumi-chaos-*")
 		if err != nil {
@@ -211,6 +239,7 @@ func runChaos(seeds, dir string, sanitize, recover bool) {
 			Dir:          ckdir,
 			StallTimeout: 30 * time.Second,
 			Sanitize:     sanitize,
+			Conform:      conform,
 		}
 		if recover {
 			out, err := chaos.RunRecoverable(cfg)

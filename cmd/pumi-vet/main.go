@@ -32,6 +32,17 @@
 // scanning and SARIF-aware editors. `-checksarif FILE` validates a
 // previously written SARIF file (the CI smoke lane).
 //
+// Protocol automata: `-emit-automata` compiles the communication-effect
+// terms of the standard entry points (parma.Balance, partition.Migrate,
+// meshio checkpoints, pcu.Agree, chaos.RunRecoverable) into minimal
+// DFAs and writes the versioned pumi-proto/1 JSON artifact to stdout;
+// the committed copy under internal/lint/automata/golden/ is enforced
+// by `make proto-check`, loaded online by pcu (Options.Conform) and
+// replayed offline by `pumi-trace -conform`. `-effects [-func substr]
+// [-v]` prints the inferred effect terms themselves — the static view
+// the analyzers prove over and the runtime projection the automata are
+// compiled from (-v adds each schedule's derivative exploration).
+//
 // Self-hosting gate: `-baseline FILE` filters findings through a
 // committed baseline — only new findings (and stale baseline entries)
 // fail the run; `-writebaseline FILE` records the current findings as
@@ -68,6 +79,10 @@ func main() {
 		writeBase  = flag.String("writebaseline", "", "write the current findings to this baseline file and exit 0")
 		checkSarif = flag.String("checksarif", "", "validate a SARIF file produced by -sarif and exit")
 		nonEmpty   = flag.Bool("nonempty", false, "with -checksarif, also fail if the log holds zero results")
+		emitAuto   = flag.Bool("emit-automata", false, "compile the protocol automata of the standard entry points to a pumi-proto/1 JSON artifact on stdout and exit")
+		effects    = flag.Bool("effects", false, "print the inferred communication-effect terms (static and runtime) and exit")
+		funcPat    = flag.String("func", "", "with -effects, show only functions whose qualified name contains this substring")
+		verbose    = flag.Bool("v", false, "with -effects, also print the derivative exploration of each runtime schedule")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pumi-vet [flags] [packages]\n\n"+
@@ -130,9 +145,30 @@ func main() {
 		cmdutil.Usagef("%v", err)
 	}
 	loader.IncludeTests = !*noTests
+	if *emitAuto {
+		// The artifact must be a pure function of the non-test sources.
+		loader.IncludeTests = false
+	}
 	pkgs, err := loader.Load(cwd, flag.Args()...)
 	if err != nil {
 		cmdutil.Usagef("%v", err)
+	}
+
+	if *emitAuto {
+		set, err := lint.EmitAutomata(pkgs, nil)
+		if err != nil {
+			cmdutil.Failf("%v", err)
+		}
+		out, err := set.Encode()
+		if err != nil {
+			cmdutil.Failf("%v", err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	if *effects {
+		fmt.Print(lint.FormatEffects(pkgs, *funcPat, *verbose))
+		return
 	}
 
 	diags := lint.Run(pkgs, analyzers)

@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/fastmath/pumi-go/internal/lint/automata"
+	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/san"
+	"github.com/fastmath/pumi-go/internal/trace"
+)
+
+// goldenProtocol loads the committed pumi-proto/1 artifact and returns
+// the machine -emit-automata derived for chaos.RunRecoverable — the
+// same automaton make proto-check enforces at build time.
+func goldenProtocol(t *testing.T) *san.Protocol {
+	t.Helper()
+	set, err := automata.LoadFile(filepath.Join("..", "lint", "automata", "golden", "automata.json"))
+	if err != nil {
+		t.Fatalf("loading golden automata: %v", err)
+	}
+	m := set.Find("chaos.RunRecoverable")
+	if m == nil {
+		t.Fatal("golden artifact has no chaos.RunRecoverable machine")
+	}
+	p, err := m.Protocol()
+	if err != nil {
+		t.Fatalf("golden machine does not build a protocol: %v", err)
+	}
+	return p
+}
+
+// TestConformRecoverableSoak is the end-to-end acceptance check for the
+// protocol automata: a seeded soak with a mid-run rank kill runs every
+// epoch under the online monitor (no false positives — the recovery
+// trajectory is unchanged), and the flight-recorder trace of the same
+// run replays through the same automaton offline.
+func TestConformRecoverableSoak(t *testing.T) {
+	p := goldenProtocol(t)
+	col := trace.NewCollector(trace.Config{Ring: 4096})
+	pcu.SetDefaultTrace(col)
+	defer pcu.SetDefaultTrace(nil)
+
+	out, err := RunRecoverable(Config{
+		Plan:         &pcu.FaultPlan{Faults: []pcu.Fault{{Rank: 1, Op: opAfterCheckpoints, Kind: pcu.FaultVanish}}},
+		Dir:          t.TempDir(),
+		StallTimeout: 30 * time.Second,
+		Conform:      p,
+	})
+	if err != nil {
+		t.Fatalf("harness failure: %v", err)
+	}
+	if out.Outcome != "recovered-shrink" {
+		t.Fatalf("conformance changed the recovery trajectory: want recovered-shrink, got %s", out)
+	}
+	if !out.Verified {
+		t.Fatal("recovered mesh must pass the distributed verifier")
+	}
+
+	// Offline leg: replay each rank's recorded op stream. Ranks that
+	// survive into the recovery world carry a shrink boundary (reset or
+	// shrink edge) and must end accepting; ranks that die with the
+	// revoked world end mid-protocol, which is legal but non-accepting.
+	var buf bytes.Buffer
+	if err := col.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	streams, err := trace.OpStreams(buf.Bytes(), san.RuntimeCollectiveOps, "pcu.world", san.OpShrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 4 {
+		t.Fatalf("got streams for %d ranks, want 4", len(streams))
+	}
+	accepted := 0
+	for rank, ops := range streams {
+		res := san.Replay(p, rank, ops)
+		if res.Err != nil {
+			t.Errorf("rank %d off the automaton at op %d: %v", rank, res.Err.Index, res.Err)
+			continue
+		}
+		if res.Accepted {
+			accepted++
+		}
+	}
+	// The shrunken world has 2 ranks; both replay to acceptance.
+	if accepted < 2 {
+		t.Errorf("only %d rank stream(s) replay to acceptance, want >= 2", accepted)
+	}
+}
+
+// TestConformCatchesIncompleteProtocol drives a world under the golden
+// chaos.RunRecoverable automaton through a word the machine does not
+// accept, and checks both enforcement points agree. The inferred
+// machine is total (dynamic calls give every state a wildcard edge), so
+// its violations surface as non-acceptance at world end: online via
+// Finish's "(return)" witness, offline via Accepted=false — both
+// pinning the same final state.
+func TestConformCatchesIncompleteProtocol(t *testing.T) {
+	p := goldenProtocol(t)
+	col := trace.NewCollector(trace.Config{Ring: 1024})
+	pcu.SetDefaultTrace(col)
+	defer pcu.SetDefaultTrace(nil)
+
+	// A lone exchange is the start of a migration that never finishes —
+	// chaos.RunRecoverable can't return there.
+	_, err := pcu.RunOpt(2, pcu.Options{Conform: p}, func(c *pcu.Ctx) error {
+		c.Exchange()
+		return nil
+	})
+	var online *san.ProtocolError
+	if !errors.As(err, &online) {
+		t.Fatalf("online run: %v, want protocol violation", err)
+	}
+	if online.Op != "(return)" || online.Index != 1 {
+		t.Fatalf("online witness %+v, want (return) after 1 op", online)
+	}
+
+	var buf bytes.Buffer
+	if err := col.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	streams, err := trace.OpStreams(buf.Bytes(), san.RuntimeCollectiveOps, "pcu.world", san.OpShrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := san.Replay(p, online.Rank, streams[online.Rank])
+	if res.Err != nil {
+		t.Fatalf("offline replay of rank %d: %v", online.Rank, res.Err)
+	}
+	if res.Accepted {
+		t.Fatalf("offline replay accepted the incomplete stream: %+v", res)
+	}
+	if res.State != online.State || res.Steps != online.Index {
+		t.Errorf("witnesses diverge:\n online  %+v\n offline %+v", online, res)
+	}
+}

@@ -1,0 +1,714 @@
+// Package automata compiles communication-effect terms — the regular
+// expressions over collective ops that internal/lint infers per
+// function — into minimal deterministic finite automata, and
+// serializes them as the versioned pumi-proto artifact that the
+// enforcement points share:
+//
+//   - online: automata.Machine.Protocol() yields the *san.Protocol a
+//     PCU run drives each rank's op stream through (Options.Conform);
+//   - offline: pumi-trace -conform replays flight-recorder traces
+//     against the same machines;
+//   - build time: pumi-vet -emit-automata regenerates the committed
+//     golden artifact and `make proto-check` fails on drift.
+//
+// Compilation is by Brzozowski derivatives: each DFA state is a
+// canonical residual term (ACI-normalized keys make structural
+// equality decide state identity), discovered breadth-first over the
+// term's alphabet. The raw derivative automaton is then minimized by
+// Moore partition refinement and renumbered canonically (BFS from the
+// start state over sorted edge labels), so equal languages compile to
+// byte-identical machines regardless of the source term's shape.
+//
+// The wildcard atom (san.OpWildcard) represents a dynamic call the
+// static analyzer could not resolve: it matches any op. States whose
+// residual contains a live wildcard get a "*" default transition in
+// the machine, which the runtime takes for ops without an explicit
+// edge.
+package automata
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/fastmath/pumi-go/internal/san"
+)
+
+// Schema identifies the artifact format; bump on incompatible change.
+const Schema = "pumi-proto/1"
+
+// ---- term IR ----
+
+type termKind uint8
+
+const (
+	termEmpty termKind = iota
+	termOp
+	termSeq
+	termChoice
+	termLoop
+)
+
+// Term is one canonicalized regular expression over op names. Terms
+// are immutable; key is the canonical rendering that decides
+// structural equality and DFA state identity.
+type Term struct {
+	kind termKind
+	op   string
+	kids []*Term
+	key  string
+}
+
+var emptyTerm = &Term{kind: termEmpty, key: "ε"}
+
+// Empty returns ε, the term matching only the empty op sequence.
+func Empty() *Term { return emptyTerm }
+
+// universal reports whether the term is syntactically Σ*, the wildcard
+// loop. The wildcard matches every op, so Loop(Wild) accepts every op
+// sequence. The constructors absorb against it — inferred terms are
+// littered with dynamic-call wildcards ((Σ* | ε), Σ*·Σ*, (Σ* | ε)* …),
+// and without absorption their derivative state space is astronomically
+// large even though the language is tiny.
+func universal(t *Term) bool {
+	return t.kind == termLoop && t.kids[0].kind == termOp && t.kids[0].op == san.OpWildcard
+}
+
+// Atom returns the single-op term.
+func Atom(op string) *Term { return &Term{kind: termOp, op: op, key: "a:" + op} }
+
+// Wild returns the wildcard atom: it matches exactly one op of any
+// name. Use Loop(Wild()) for "any op sequence".
+func Wild() *Term { return Atom(san.OpWildcard) }
+
+// Seq composes terms sequentially, flattening nested Seqs and
+// dropping ε.
+func Seq(kids ...*Term) *Term {
+	var flat []*Term
+	push := func(k *Term) {
+		// Σ*·Σ* = Σ*: collapse runs of universal factors.
+		if universal(k) && len(flat) > 0 && universal(flat[len(flat)-1]) {
+			return
+		}
+		flat = append(flat, k)
+	}
+	for _, k := range kids {
+		if k == nil || k.kind == termEmpty {
+			continue
+		}
+		if k.kind == termSeq {
+			for _, kk := range k.kids {
+				push(kk)
+			}
+			continue
+		}
+		push(k)
+	}
+	switch len(flat) {
+	case 0:
+		return emptyTerm
+	case 1:
+		return flat[0]
+	}
+	keys := make([]string, len(flat))
+	for i, k := range flat {
+		keys[i] = k.key
+	}
+	return &Term{kind: termSeq, kids: flat, key: "(" + strings.Join(keys, "·") + ")"}
+}
+
+// Choice builds an alternation with ACI canonicalization: nested
+// Choices flatten, duplicate arms collapse, arms sort by key.
+func Choice(kids ...*Term) *Term {
+	var flat []*Term
+	seen := map[string]bool{}
+	add := func(k *Term) {
+		if k == nil || seen[k.key] {
+			return
+		}
+		seen[k.key] = true
+		flat = append(flat, k)
+	}
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		if k.kind == termChoice {
+			for _, kk := range k.kids {
+				add(kk)
+			}
+			continue
+		}
+		add(k)
+	}
+	// Σ* ∪ L = Σ*: a universal arm absorbs the whole alternation.
+	for _, k := range flat {
+		if universal(k) {
+			return k
+		}
+	}
+	// ε ∪ L = L when L is already nullable: drop redundant ε arms.
+	if len(flat) > 1 {
+		hasNullable := false
+		for _, k := range flat {
+			if k.kind != termEmpty && nullable(k) {
+				hasNullable = true
+				break
+			}
+		}
+		if hasNullable {
+			kept := flat[:0]
+			for _, k := range flat {
+				if k.kind != termEmpty {
+					kept = append(kept, k)
+				}
+			}
+			flat = kept
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return emptyTerm
+	case 1:
+		return flat[0]
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].key < flat[j].key })
+	keys := make([]string, len(flat))
+	for i, k := range flat {
+		keys[i] = k.key
+	}
+	return &Term{kind: termChoice, kids: flat, key: "{" + strings.Join(keys, "|") + "}"}
+}
+
+// Loop wraps a term in zero-or-more repetition; Loop(ε)=ε and
+// Loop(Loop(t))=Loop(t).
+func Loop(t *Term) *Term {
+	if t == nil || t.kind == termEmpty {
+		return emptyTerm
+	}
+	if t.kind == termLoop {
+		return t
+	}
+	// (ε | x | …)* = (x | …)*: ε arms are redundant under repetition.
+	if t.kind == termChoice {
+		for i, k := range t.kids {
+			if k.kind == termEmpty {
+				rest := append(append([]*Term(nil), t.kids[:i]...), t.kids[i+1:]...)
+				return Loop(Choice(rest...))
+			}
+		}
+	}
+	return &Term{kind: termLoop, kids: []*Term{t}, key: t.key + "*"}
+}
+
+// String renders the term for humans (and for the artifact's term
+// field).
+func (t *Term) String() string {
+	if t == nil {
+		return "ε"
+	}
+	switch t.kind {
+	case termEmpty:
+		return "ε"
+	case termOp:
+		return t.op
+	case termSeq:
+		parts := make([]string, len(t.kids))
+		for i, k := range t.kids {
+			parts[i] = k.String()
+		}
+		return strings.Join(parts, "·")
+	case termChoice:
+		parts := make([]string, len(t.kids))
+		for i, k := range t.kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, " | ") + ")"
+	case termLoop:
+		inner := t.kids[0].String()
+		if t.kids[0].kind == termSeq || t.kids[0].kind == termChoice {
+			return "(" + inner + ")*"
+		}
+		return inner + "*"
+	}
+	return "?"
+}
+
+// nullable reports whether the term's language contains the empty
+// sequence.
+func nullable(t *Term) bool {
+	switch t.kind {
+	case termEmpty, termLoop:
+		return true
+	case termOp:
+		return false
+	case termSeq:
+		for _, k := range t.kids {
+			if !nullable(k) {
+				return false
+			}
+		}
+		return true
+	case termChoice:
+		for _, k := range t.kids {
+			if nullable(k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// otherSym is the reserved derivative symbol standing for "any op not
+// in the alphabet": only the wildcard atom matches it. Its derivative
+// becomes the machine's "*" default transition.
+const otherSym = "\x00other"
+
+// atomMatches reports whether the atom named op consumes symbol a.
+func atomMatches(op, a string) bool {
+	return op == san.OpWildcard || op == a
+}
+
+// deriv is the Brzozowski derivative of t with respect to symbol a:
+// the language of suffixes after consuming a, or nil when a cannot
+// occur first.
+func deriv(t *Term, a string) *Term {
+	switch t.kind {
+	case termEmpty:
+		return nil
+	case termOp:
+		if atomMatches(t.op, a) {
+			return emptyTerm
+		}
+		return nil
+	case termSeq:
+		var alts []*Term
+		for i, k := range t.kids {
+			if d := deriv(k, a); d != nil {
+				rest := append([]*Term{d}, t.kids[i+1:]...)
+				alts = append(alts, Seq(rest...))
+			}
+			if !nullable(k) {
+				break
+			}
+		}
+		if len(alts) == 0 {
+			return nil
+		}
+		return Choice(alts...)
+	case termChoice:
+		var alts []*Term
+		for _, k := range t.kids {
+			if d := deriv(k, a); d != nil {
+				alts = append(alts, d)
+			}
+		}
+		if len(alts) == 0 {
+			return nil
+		}
+		return Choice(alts...)
+	case termLoop:
+		d := deriv(t.kids[0], a)
+		if d == nil {
+			return nil
+		}
+		return Seq(d, t)
+	}
+	return nil
+}
+
+// Alphabet returns the sorted distinct op names of the term, wildcard
+// excluded.
+func Alphabet(t *Term) []string {
+	set := map[string]bool{}
+	var walk func(*Term)
+	walk = func(t *Term) {
+		if t == nil {
+			return
+		}
+		if t.kind == termOp {
+			if t.op != san.OpWildcard {
+				set[t.op] = true
+			}
+			return
+		}
+		for _, k := range t.kids {
+			walk(k)
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(set))
+	for op := range set {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- DFA compilation ----
+
+// maxStates bounds derivative exploration; ACI canonicalization keeps
+// real protocol terms far below it, so hitting the bound means a
+// pathological input, not a bigger budget.
+const maxStates = 4096
+
+// State is one DFA state of a serialized machine. Edges maps op names
+// to successor state ids; the "*" key, when present, is the default
+// transition for ops without an explicit edge (wildcard states).
+// Missing edges reject.
+type State struct {
+	Accept bool           `json:"accept"`
+	Edges  map[string]int `json:"edges,omitempty"`
+}
+
+// Machine is one entry point's compiled protocol automaton. State 0 is
+// always the start state (canonical BFS numbering).
+type Machine struct {
+	Entry  string   `json:"entry"`
+	Term   string   `json:"term"`
+	Ops    []string `json:"ops"`
+	States []State  `json:"states"`
+}
+
+// explore runs the Brzozowski derivative BFS: every reachable residual
+// term becomes a state, identified by its canonical key.
+func explore(t *Term) (terms []*Term, next [][]int, syms []string, err error) {
+	ops := Alphabet(t)
+	syms = append(append([]string(nil), ops...), otherSym)
+	ids := map[string]int{t.key: 0}
+	terms = []*Term{t}
+	for s := 0; s < len(terms); s++ {
+		row := make([]int, len(syms))
+		for i, a := range syms {
+			d := deriv(terms[s], a)
+			if d == nil {
+				row[i] = -1
+				continue
+			}
+			id, ok := ids[d.key]
+			if !ok {
+				id = len(terms)
+				if id >= maxStates {
+					return nil, nil, nil, fmt.Errorf("automata: term exceeds %d DFA states", maxStates)
+				}
+				ids[d.key] = id
+				terms = append(terms, d)
+			}
+			row[i] = id
+		}
+		next = append(next, row)
+	}
+	return terms, next, syms, nil
+}
+
+// Derivatives renders the derivative exploration for humans — one block
+// per discovered state with its residual term and transitions, before
+// minimization. This is what `pumi-vet -effects -v` prints.
+func Derivatives(t *Term) []string {
+	if t == nil {
+		t = emptyTerm
+	}
+	terms, next, syms, err := explore(t)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var out []string
+	for s, tm := range terms {
+		mark := ""
+		if nullable(tm) {
+			mark = " (accepting)"
+		}
+		out = append(out, fmt.Sprintf("s%d%s: %s", s, mark, tm))
+		for i, target := range next[s] {
+			if target < 0 {
+				continue
+			}
+			label := syms[i]
+			if label == otherSym {
+				label = san.OpWildcard
+			}
+			out = append(out, fmt.Sprintf("  %s -> s%d", label, target))
+		}
+	}
+	return out
+}
+
+// Compile builds the minimal DFA of the term's language. The result is
+// canonical: two terms with equal languages compile to identical
+// machines.
+func Compile(entry string, t *Term) (Machine, error) {
+	if t == nil {
+		t = emptyTerm
+	}
+	ops := Alphabet(t)
+	terms, next, _, err := explore(t)
+	if err != nil {
+		return Machine{}, fmt.Errorf("%s: %w", entry, err)
+	}
+	accept := make([]bool, len(terms))
+	for s, tm := range terms {
+		accept[s] = nullable(tm)
+	}
+
+	next, accept = minimize(next, accept, len(ops)+1)
+	next, accept = renumber(next, accept, len(ops)+1)
+
+	m := Machine{Entry: entry, Term: t.String(), Ops: ops, States: make([]State, len(accept))}
+	for s := range accept {
+		st := State{Accept: accept[s]}
+		for i, target := range next[s] {
+			if target < 0 {
+				continue
+			}
+			if st.Edges == nil {
+				st.Edges = map[string]int{}
+			}
+			label := san.OpWildcard
+			if i < len(ops) {
+				label = ops[i]
+			}
+			st.Edges[label] = target
+		}
+		m.States[s] = st
+	}
+	return m, nil
+}
+
+// minimize merges language-equivalent states by Moore partition
+// refinement. Missing edges (-1) act as an implicit reject sink that
+// is always its own class; no live derivative state can merge with it
+// because every derivative has a nonempty language.
+func minimize(next [][]int, accept []bool, width int) ([][]int, []bool) {
+	n := len(accept)
+	block := make([]int, n)
+	for s := range block {
+		if accept[s] {
+			block[s] = 1
+		}
+	}
+	for {
+		// Signature of a state: its block plus its successors' blocks
+		// (-1 edges keep the constant pseudo-block -1).
+		sigOf := func(s int) string {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d", block[s])
+			for i := 0; i < width; i++ {
+				t := next[s][i]
+				if t >= 0 {
+					fmt.Fprintf(&b, ",%d", block[t])
+				} else {
+					b.WriteString(",-")
+				}
+			}
+			return b.String()
+		}
+		newBlock := make([]int, n)
+		index := map[string]int{}
+		for s := 0; s < n; s++ {
+			sig := sigOf(s)
+			id, ok := index[sig]
+			if !ok {
+				id = len(index)
+				index[sig] = id
+			}
+			newBlock[s] = id
+		}
+		stable := len(index) == blockCount(block)
+		block = newBlock
+		if stable {
+			break
+		}
+	}
+	// Collapse each block to one representative.
+	nb := blockCount(block)
+	repNext := make([][]int, nb)
+	repAccept := make([]bool, nb)
+	for s := 0; s < n; s++ {
+		b := block[s]
+		if repNext[b] != nil {
+			continue
+		}
+		row := make([]int, width)
+		for i := 0; i < width; i++ {
+			if t := next[s][i]; t >= 0 {
+				row[i] = block[t]
+			} else {
+				row[i] = -1
+			}
+		}
+		repNext[b] = row
+		repAccept[b] = accept[s]
+	}
+	// The start state (id 0) must stay identifiable: renumber so block
+	// of state 0 becomes state 0.
+	if b0 := block[0]; b0 != 0 {
+		perm := make([]int, nb)
+		for i := range perm {
+			perm[i] = i
+		}
+		perm[0], perm[b0] = b0, 0
+		repNext, repAccept = applyPerm(repNext, repAccept, perm, width)
+	}
+	return repNext, repAccept
+}
+
+func blockCount(block []int) int {
+	max := -1
+	for _, b := range block {
+		if b > max {
+			max = b
+		}
+	}
+	return max + 1
+}
+
+// renumber relabels states in BFS discovery order from the start
+// state over the (already sorted) symbol order, making the numbering
+// independent of derivative discovery order.
+func renumber(next [][]int, accept []bool, width int) ([][]int, []bool) {
+	n := len(accept)
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		order = append(order, s)
+		for i := 0; i < width; i++ {
+			if t := next[s][i]; t >= 0 && !seen[t] {
+				seen[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	perm := make([]int, n) // old id -> new id
+	for newID, old := range order {
+		perm[old] = newID
+	}
+	// Unreachable states (possible only after minimization merged the
+	// reachable set) are dropped by truncating to the visited count.
+	pn, pa := applyPerm(next, accept, perm, width)
+	return pn[:len(order)], pa[:len(order)]
+}
+
+// applyPerm relabels states by perm (old id -> new id).
+func applyPerm(next [][]int, accept []bool, perm []int, width int) ([][]int, []bool) {
+	n := len(accept)
+	outNext := make([][]int, n)
+	outAccept := make([]bool, n)
+	for old, row := range next {
+		newID := perm[old]
+		nr := make([]int, width)
+		for i, t := range row {
+			if t >= 0 {
+				nr[i] = perm[t]
+			} else {
+				nr[i] = -1
+			}
+		}
+		outNext[newID] = nr
+		outAccept[newID] = accept[old]
+	}
+	return outNext, outAccept
+}
+
+// ---- artifact ----
+
+// Set is the pumi-proto artifact: every entry point's machine, sorted
+// by entry name.
+type Set struct {
+	Schema   string    `json:"schema"`
+	Automata []Machine `json:"automata"`
+}
+
+// NewSet wraps machines into a schema-stamped artifact, sorted by
+// entry.
+func NewSet(machines []Machine) *Set {
+	ms := append([]Machine(nil), machines...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Entry < ms[j].Entry })
+	return &Set{Schema: Schema, Automata: ms}
+}
+
+// Encode renders the artifact deterministically (sorted machines,
+// sorted edge keys via encoding/json's map ordering, trailing
+// newline).
+func (s *Set) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Validate checks the artifact's schema and internal consistency.
+func (s *Set) Validate() error {
+	if s.Schema != Schema {
+		return fmt.Errorf("automata: schema %q, want %q", s.Schema, Schema)
+	}
+	if len(s.Automata) == 0 {
+		return fmt.Errorf("automata: artifact holds no machines")
+	}
+	seen := map[string]bool{}
+	for i, m := range s.Automata {
+		if m.Entry == "" {
+			return fmt.Errorf("automata: machine %d has no entry name", i)
+		}
+		if seen[m.Entry] {
+			return fmt.Errorf("automata: duplicate entry %q", m.Entry)
+		}
+		seen[m.Entry] = true
+		if i > 0 && s.Automata[i-1].Entry > m.Entry {
+			return fmt.Errorf("automata: machines not sorted by entry at %q", m.Entry)
+		}
+		if _, err := m.Protocol(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode parses and validates an artifact.
+func Decode(data []byte) (*Set, error) {
+	var s Set
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("automata: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads and validates an artifact file.
+func LoadFile(path string) (*Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Find returns the machine for the given entry point, or nil.
+func (s *Set) Find(entry string) *Machine {
+	for i := range s.Automata {
+		if s.Automata[i].Entry == entry {
+			return &s.Automata[i]
+		}
+	}
+	return nil
+}
+
+// Protocol compiles the machine into the runtime-executable form the
+// PCU conformance monitor and trace replay share.
+func (m *Machine) Protocol() (*san.Protocol, error) {
+	accept := make([]bool, len(m.States))
+	edges := make([]map[string]int, len(m.States))
+	for i, st := range m.States {
+		accept[i] = st.Accept
+		edges[i] = st.Edges
+	}
+	return san.NewProtocol(m.Entry, m.Ops, 0, accept, edges)
+}

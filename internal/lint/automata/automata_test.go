@@ -1,0 +1,228 @@
+package automata
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/fastmath/pumi-go/internal/san"
+)
+
+func compile(t *testing.T, entry string, term *Term) Machine {
+	t.Helper()
+	m, err := Compile(entry, term)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", entry, err)
+	}
+	return m
+}
+
+// accepts replays a stream against the compiled machine via the san
+// bridge — the same executable form the runtime uses.
+func accepts(t *testing.T, m Machine, ops ...string) bool {
+	t.Helper()
+	p, err := m.Protocol()
+	if err != nil {
+		t.Fatalf("Protocol(%s): %v", m.Entry, err)
+	}
+	res := san.Replay(p, 0, ops)
+	return res.Err == nil && res.Accepted
+}
+
+func TestCompileTable(t *testing.T) {
+	a, b, c := Atom("a"), Atom("b"), Atom("c")
+	cases := []struct {
+		name   string
+		term   *Term
+		states int
+		accept [][]string // accepted streams
+		reject [][]string // rejected streams (off-automaton or non-accepting end)
+	}{
+		{
+			name:   "empty",
+			term:   Empty(),
+			states: 1,
+			accept: [][]string{{}},
+			reject: [][]string{{"a"}},
+		},
+		{
+			name:   "seq",
+			term:   Seq(a, b),
+			states: 3,
+			accept: [][]string{{"a", "b"}},
+			reject: [][]string{{}, {"a"}, {"b"}, {"a", "b", "a"}},
+		},
+		{
+			name:   "loop of choice",
+			term:   Loop(Choice(a, b)),
+			states: 1,
+			accept: [][]string{{}, {"a"}, {"b", "a", "b", "b"}},
+			reject: [][]string{{"c"}},
+		},
+		{
+			// (a*)|(b*): after the first op the other loop is dead. The
+			// minimal DFA has 3 states — start accepts, then one state
+			// per committed branch.
+			name:   "choice of loops",
+			term:   Choice(Loop(a), Loop(b)),
+			states: 3,
+			accept: [][]string{{}, {"a", "a"}, {"b", "b", "b"}},
+			reject: [][]string{{"a", "b"}, {"b", "a"}},
+		},
+		{
+			// Supervise's shape: (body·shrink)*·body with body = a·b.
+			name:   "epoch loop",
+			term:   Seq(Loop(Seq(a, b, c)), a, b),
+			states: 3,
+			accept: [][]string{{"a", "b"}, {"a", "b", "c", "a", "b"}},
+			reject: [][]string{{}, {"a", "b", "c"}, {"a", "a"}},
+		},
+		{
+			// A dynamic call widens to Loop(*): anything between a and b.
+			name:   "wildcard window",
+			term:   Seq(a, Loop(Wild()), b),
+			accept: [][]string{{"a", "b"}, {"a", "c", "c", "b"}, {"a", "b", "b"}},
+			reject: [][]string{{"a"}, {"b"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := compile(t, "test."+tc.name, tc.term)
+			if tc.states != 0 && len(m.States) != tc.states {
+				t.Fatalf("%d states, want %d (term %s)", len(m.States), tc.states, m.Term)
+			}
+			for _, ops := range tc.accept {
+				if !accepts(t, m, ops...) {
+					t.Errorf("rejects %v (term %s)", ops, m.Term)
+				}
+			}
+			for _, ops := range tc.reject {
+				if accepts(t, m, ops...) {
+					t.Errorf("accepts %v (term %s)", ops, m.Term)
+				}
+			}
+		})
+	}
+}
+
+// TestCompileCanonical pins the heart of the golden-artifact guarantee:
+// terms with equal languages compile to identical machines, whatever
+// their syntactic shape.
+func TestCompileCanonical(t *testing.T) {
+	a, b := Atom("a"), Atom("b")
+	pairs := []struct {
+		name string
+		x, y *Term
+	}{
+		{"star idempotent", Loop(a), Seq(Loop(a), Loop(a))},
+		{"choice absorbs", Loop(Choice(a, b)), Loop(Choice(a, b, Seq(a, b)))},
+		{"unrolled loop", Loop(a), Choice(Empty(), Seq(a, Loop(a)))},
+	}
+	for _, tc := range pairs {
+		t.Run(tc.name, func(t *testing.T) {
+			mx := compile(t, "test.x", tc.x)
+			my := compile(t, "test.x", tc.y) // same entry so only shape differs
+			mx.Term, my.Term = "", ""        // term strings legitimately differ
+			if !reflect.DeepEqual(mx, my) {
+				t.Fatalf("machines differ:\n%+v\n%+v", mx, my)
+			}
+		})
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	term := Seq(Loop(Seq(Atom("barrier"), Choice(Atom("exchange"), Atom("allreduce")), Atom("shrink"))), Atom("barrier"))
+	m1 := compile(t, "test.det", term)
+	m2 := compile(t, "test.det", term)
+	s1, err := NewSet([]Machine{m1}).Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	s2, err := NewSet([]Machine{m2}).Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("encodings differ:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestWildcardEdges(t *testing.T) {
+	// a·(*)*·b: the middle state must carry a "*" default edge; the
+	// start state must not.
+	m := compile(t, "test.wild", Seq(Atom("a"), Loop(Wild()), Atom("b")))
+	if _, ok := m.States[0].Edges[san.OpWildcard]; ok {
+		t.Fatalf("start state has a wildcard edge: %+v", m.States)
+	}
+	mid := m.States[0].Edges["a"]
+	if _, ok := m.States[mid].Edges[san.OpWildcard]; !ok {
+		t.Fatalf("post-a state lacks the wildcard default: %+v", m.States)
+	}
+	// An op outside the alphabet is fine mid-window, not at the start.
+	if !accepts(t, m, "a", "weird", "b") {
+		t.Error("wildcard window rejects an off-alphabet op")
+	}
+	if accepts(t, m, "weird") {
+		t.Error("start state accepts through a phantom wildcard")
+	}
+}
+
+func TestArtifactRoundtrip(t *testing.T) {
+	m1 := compile(t, "pkg.Beta", Seq(Atom("barrier"), Atom("exchange")))
+	m2 := compile(t, "pkg.Alpha", Loop(Atom("allreduce")))
+	set := NewSet([]Machine{m1, m2})
+	if set.Automata[0].Entry != "pkg.Alpha" {
+		t.Fatalf("machines not sorted by entry: %+v", set.Automata)
+	}
+	data, err := set.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(set, got) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", set, got)
+	}
+	if got.Find("pkg.Beta") == nil || got.Find("pkg.Gamma") != nil {
+		t.Fatal("Find misses or over-matches")
+	}
+}
+
+func TestDecodeRejectsBadArtifacts(t *testing.T) {
+	m := compile(t, "pkg.A", Atom("a"))
+	cases := []struct {
+		name string
+		set  *Set
+	}{
+		{"wrong schema", &Set{Schema: "pumi-proto/0", Automata: []Machine{m}}},
+		{"empty", &Set{Schema: Schema}},
+		{"duplicate entry", &Set{Schema: Schema, Automata: []Machine{m, m}}},
+		{"unsorted", &Set{Schema: Schema, Automata: []Machine{compile(t, "pkg.B", Atom("a")), m}}},
+		{"bad edge target", &Set{Schema: Schema, Automata: []Machine{{
+			Entry: "pkg.Bad", Ops: []string{"a"},
+			States: []State{{Edges: map[string]int{"a": 9}}},
+		}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := (&Set{Schema: tc.set.Schema, Automata: tc.set.Automata}).Encode()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if _, err := Decode(data); err == nil {
+				t.Fatal("bad artifact decoded cleanly")
+			}
+		})
+	}
+}
+
+func TestTermString(t *testing.T) {
+	term := Seq(Loop(Seq(Atom("a"), Atom("b"))), Choice(Atom("c"), Empty()))
+	got := term.String()
+	want := "(a·b)*·(c | ε)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

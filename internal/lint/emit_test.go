@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fastmath/pumi-go/internal/san"
+)
+
+// TestRuntimeEffects pins the runtime-mode inference over the effects
+// fixture: run drivers are transparent, Supervise produces the
+// recovered-shrink epoch shape, dynamic calls widen to the wildcard
+// loop, and agree keeps its own op name.
+func TestRuntimeEffects(t *testing.T) {
+	pkgs := fixturePkgs(t, "effects")
+	facts := gatherFacts(pkgs)
+	cases := []struct {
+		fn   string
+		want string
+	}{
+		{"epochBody", "barrier·exchange"},
+		{"runWrapped", "barrier·exchange"},
+		// The Supervise regression (satellite): epochs that end in a
+		// shrink rerun the body, so the schedule is (body·shrink)*·body —
+		// not an opaque widening.
+		{"supervised", "(barrier·exchange·shrink)*·barrier·exchange"},
+		{"dynamic", "**·barrier"},
+		{"fieldCall", "**"},
+		{"agreeing", "agree"},
+	}
+	for _, c := range cases {
+		fn := lookupFn(t, pkgs[0], c.fn)
+		eff := facts.RuntimeEffectOf(fn)
+		if eff == nil {
+			t.Errorf("RuntimeEffectOf(%s) = nil", c.fn)
+			continue
+		}
+		if got := collProject(eff).String(); got != c.want {
+			t.Errorf("RuntimeEffectOf(%s) projects to %s, want %s", c.fn, got, c.want)
+		}
+	}
+}
+
+// TestEmitAutomataFixture compiles an automaton from the fixture's
+// supervised entry point and checks the machine recognizes exactly the
+// epoch protocol.
+func TestEmitAutomataFixture(t *testing.T) {
+	pkgs := fixturePkgs(t, "effects")
+	set, err := EmitAutomata(pkgs, []string{"effects.supervised"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Automata) != 1 {
+		t.Fatalf("got %d automata, want 1", len(set.Automata))
+	}
+	m := set.Automata[0]
+	if m.Entry != "effects.supervised" {
+		t.Errorf("entry = %s", m.Entry)
+	}
+	// (barrier·exchange·shrink)*·barrier·exchange minimizes to three
+	// states: start, post-barrier, post-exchange (accepting, shrink
+	// loops back to start).
+	if len(m.States) != 3 {
+		t.Fatalf("got %d states, want 3: %+v", len(m.States), m.States)
+	}
+	p, err := m.Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		ops []string
+		ok  bool
+	}{
+		{[]string{"barrier", "exchange"}, true},
+		{[]string{"barrier", "exchange", "shrink", "barrier", "exchange"}, true},
+		{[]string{"barrier"}, false},
+		{[]string{"exchange", "barrier"}, false},
+	} {
+		res := san.Replay(p, 0, c.ops)
+		if accepted := res.Err == nil && res.Accepted; accepted != c.ok {
+			t.Errorf("replay %v accepted=%v, want %v", c.ops, accepted, c.ok)
+		}
+	}
+}
+
+// TestFindEntryErrors exercises the entry-resolution failure modes.
+func TestFindEntryErrors(t *testing.T) {
+	pkgs := fixturePkgs(t, "effects")
+	for _, entry := range []string{"noSuchPkg.F", "effects.noSuchFunc", "malformed", ".F", "pkg."} {
+		if _, err := findEntry(pkgs, entry); err == nil {
+			t.Errorf("findEntry(%q) succeeded, want error", entry)
+		}
+	}
+	if fn, err := findEntry(pkgs, "effects.supervised"); err != nil || fn == nil {
+		t.Errorf("findEntry(effects.supervised) = %v, %v", fn, err)
+	}
+}
+
+// TestFormatEffectsGolden pins the `pumi-vet -effects -v` rendering of
+// the fixture package — static and runtime terms plus the derivative
+// trace. UPDATE_GOLDEN=1 regenerates.
+func TestFormatEffectsGolden(t *testing.T) {
+	pkgs := fixturePkgs(t, "effects")
+	got := FormatEffects(pkgs, "effects.", true)
+	file := filepath.Join("testdata", "effects.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(file, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s out of date (UPDATE_GOLDEN=1 regenerates):\n--- want ---\n%s--- got ---\n%s", file, want, got)
+	}
+}
+
+// TestFormatEffectsPattern checks the -func substring filter.
+func TestFormatEffectsPattern(t *testing.T) {
+	pkgs := fixturePkgs(t, "effects")
+	out := FormatEffects(pkgs, "supervised", false)
+	if out == "" {
+		t.Fatal("no output for pattern supervised")
+	}
+	if FormatEffects(pkgs, "definitely-no-match", false) != "" {
+		t.Error("non-matching pattern produced output")
+	}
+}

@@ -78,11 +78,22 @@ type funcNode struct {
 	retRankVia []string
 	retCalls   []*callSite
 
-	// Communication-effect term (see effects.go), inferred in
-	// reverse-topological SCC order after the boolean fixpoint.
+	// Communication-effect terms (see effects.go), inferred in
+	// reverse-topological SCC order after the boolean fixpoint: effect
+	// is the static term (atoms are Go function names), effectRT the
+	// runtime projection (atoms are the op names beginOp records).
 	// effWidened marks terms approximated because of recursion.
 	effect     *Effect
+	effectRT   *Effect
 	effWidened bool
+}
+
+// modeEffect selects the static or runtime term.
+func (n *funcNode) modeEffect(rt bool) *Effect {
+	if rt {
+		return n.effectRT
+	}
+	return n.effect
 }
 
 // callGraph indexes the funcNodes of all loaded packages.

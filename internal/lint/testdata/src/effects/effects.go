@@ -1,0 +1,57 @@
+// Package effects is a fixture for the effect-inference debug surface
+// (`pumi-vet -effects`) and the runtime-mode inference behind
+// -emit-automata: run drivers, supervised epoch loops, dynamic calls
+// and the agree collective. It deliberately triggers no analyzer
+// diagnostics.
+package effects
+
+import "github.com/fastmath/pumi-go/internal/pcu"
+
+// epochBody is one epoch of work: a barrier then an exchange.
+func epochBody(c *pcu.Ctx) error {
+	c.Barrier()
+	c.Exchange()
+	return nil
+}
+
+// runWrapped drives epochBody through the plain runner; its schedule is
+// exactly the body's.
+func runWrapped() error {
+	return pcu.Run(2, epochBody)
+}
+
+// supervised reruns epochBody under the supervisor: every revoked epoch
+// ends in a world-shrink boundary before the body restarts, so the
+// runtime schedule is (body·shrink)*·body.
+func supervised() error {
+	_, err := pcu.Supervise(4, pcu.Options{}, nil, func(c *pcu.Ctx, _ pcu.Epoch) error {
+		return epochBody(c)
+	})
+	return err
+}
+
+// dynamic invokes a function value: statically silent, but at runtime
+// anything may run inside, so runtime inference widens the call to the
+// wildcard loop before the trailing barrier.
+func dynamic(c *pcu.Ctx, f func(*pcu.Ctx)) {
+	f(c)
+	c.Barrier()
+}
+
+// hooks carries a callback the way parma's configuration does.
+type hooks struct {
+	OnIter func(*pcu.Ctx)
+}
+
+// fieldCall invokes a callback stored in a struct field — also a
+// dynamic call in runtime mode.
+func fieldCall(c *pcu.Ctx, h hooks) {
+	h.OnIter(c)
+}
+
+// agreeing votes on world health: the agree collective records its own
+// op name distinct from allreduce.
+func agreeing(c *pcu.Ctx) bool {
+	ok, _ := pcu.Agree(c, true)
+	return ok
+}

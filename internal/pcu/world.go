@@ -85,6 +85,13 @@ type Options struct {
 	// and a process-wide collector is installed via SetDefaultTrace, the
 	// run records into a fresh trace added to the collector at the end.
 	Trace *trace.Trace
+	// Conform, when non-nil, drives every rank's blocking-op stream
+	// through the given protocol automaton online (see internal/san and
+	// `pumi-vet -emit-automata`): each op a rank enters must follow an
+	// automaton edge, and a rank returning success must sit in an
+	// accepting state. The first off-automaton op fails the run with a
+	// *san.ProtocolError naming the op and the expected set.
+	Conform *san.Protocol
 }
 
 // World holds the shared state of one parallel run: the reusable
@@ -98,6 +105,10 @@ type World struct {
 	faults *FaultPlan
 	san    *sanState    // non-nil when the run is sanitized
 	tr     *trace.Trace // non-nil when the run is traced
+
+	// conform is the online protocol-automaton monitor, non-nil when the
+	// run carries Options.Conform.
+	conform *san.Conformance
 
 	// resend is the transient-fault retransmit store, armed only when
 	// the run carries a fault plan; retryLimit/retryDelay come from
@@ -143,6 +154,11 @@ var (
 	opAllgather = "allgather"
 	opExscan    = "exscan"
 	opAgree     = "agree"
+
+	// opWorldStart is the instant-event marker each rank emits when its
+	// world starts; offline conformance replay treats the second and
+	// later markers on a rank as epoch (shrink) boundaries.
+	opWorldStart = "pcu.world"
 )
 
 // rankState is one rank's progress record, written lock-free by the
@@ -297,6 +313,9 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 	if opt.Sanitize || defaultSanitize.Load() {
 		w.san = newSanState(n)
 	}
+	if opt.Conform != nil {
+		w.conform = san.NewConformance(opt.Conform, n)
+	}
 	tr := opt.Trace
 	var col *trace.Collector
 	if tr != nil {
@@ -335,7 +354,18 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 				rs.blocked.Store(false)
 				rs.op.Store(&opNone)
 			}()
-			errs[rank] = body(&Ctx{w: w, rank: rank, tr: tr.Rank(rank)})
+			c := &Ctx{w: w, rank: rank, tr: tr.Rank(rank)}
+			// The world-start marker lets offline replay (pumi-trace
+			// -conform) see epoch boundaries: Supervise reruns emit one
+			// marker per epoch on each rank.
+			c.tr.Point(opWorldStart, int64(n))
+			err := body(c)
+			if err == nil && w.conform != nil {
+				// A rank claiming success must have completed the
+				// protocol: reject returns from mid-automaton states.
+				err = w.conform.Finish(rank)
+			}
+			errs[rank] = err
 		}(r)
 	}
 	wg.Wait()
@@ -373,7 +403,8 @@ func (w *World) classify(rank int, rs *rankState, p any) error {
 		// Propagated teardown, not this rank's fault.
 		return err
 	case errors.Is(err, ErrFaultInjected) || errors.Is(err, ErrCorruptMessage) ||
-		errors.Is(err, san.ErrDivergence) || errors.Is(err, san.ErrOwnership):
+		errors.Is(err, san.ErrDivergence) || errors.Is(err, san.ErrOwnership) ||
+		errors.Is(err, san.ErrProtocol):
 		// Structured failure: keep the message deterministic (no stack)
 		// so a seeded replay produces an identical error.
 		w.poison()
@@ -454,6 +485,11 @@ func (c *Ctx) beginOp(name *string, isExchange bool) {
 	rs := &c.w.ranks[c.rank]
 	rs.op.Store(name)
 	c.tr.Begin(*name)
+	if m := c.w.conform; m != nil {
+		if err := m.Step(c.rank, *name); err != nil {
+			panic(err)
+		}
+	}
 	var op int64
 	if isExchange {
 		op = rs.exchs.Add(1) + rs.colls.Load()

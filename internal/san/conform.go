@@ -1,0 +1,304 @@
+package san
+
+// Protocol conformance: the dynamic half of pumi-vet's protocol
+// automata (internal/lint/automata). The static analyzer compiles each
+// entry point's inferred communication-effect term into a minimal DFA
+// over runtime collective op names; this file executes that DFA against
+// a real run. A Protocol is the immutable compiled automaton; a
+// Conformance is the per-run monitor that drives each rank's op stream
+// through it. The first op with no transition from the current state is
+// the violation, reported as a *ProtocolError naming the op, its stream
+// index and the set of ops the automaton expected there.
+//
+// The monitor is built for the PCU hot path: Step is one map lookup and
+// two slice writes, no allocations in the conforming case (pinned by
+// TestConformanceStepZeroAlloc).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrProtocol is wrapped by every conformance violation; match with
+// errors.Is. The concrete *ProtocolError carries the diagnosis.
+var ErrProtocol = errors.New("pumi-san: collective op off the protocol automaton")
+
+// Runtime op names shared by the PCU runtime (which records them via
+// beginOp), the automata compiler (which maps static atoms onto them)
+// and trace replay (which filters flight-recorder events down to them).
+const (
+	// OpShrink is the world-shrink boundary pseudo-op: the transition a
+	// supervised run takes when a revoked world is rebuilt over the
+	// survivors. Online it never appears as a runtime op (each epoch is
+	// a fresh world with a fresh cursor); offline replay synthesizes it
+	// from the per-rank world markers in the trace.
+	OpShrink = "shrink"
+	// OpWildcard labels the default transition of states whose source
+	// term contains a dynamic call the analyzer cannot resolve: any op
+	// is accepted there.
+	OpWildcard = "*"
+)
+
+// RuntimeCollectiveOps lists every op name the PCU runtime can record
+// for a blocking collective operation. Trace replay feeds exactly these
+// (plus the synthesized OpShrink) into the automaton, so a protocol
+// that omits one still catches it as off-automaton.
+var RuntimeCollectiveOps = []string{
+	"agree", "allgather", "allreduce", "barrier", "bcast", "exchange", "exscan", "reduce",
+}
+
+// ProtocolError reports the first op of a rank's stream that has no
+// transition from the automaton's current state. Index is the 0-based
+// position in the rank's collective op stream; Op is the offending op
+// ("(return)" when the rank finished mid-protocol); Expected is the
+// sorted set of ops the automaton would have accepted.
+type ProtocolError struct {
+	Entry    string // automaton entry point, e.g. "chaos.RunRecoverable"
+	Rank     int
+	Index    int
+	Op       string
+	State    int
+	Expected []string
+}
+
+func (e *ProtocolError) Error() string {
+	exp := "nothing (end of protocol)"
+	if len(e.Expected) > 0 {
+		exp = strings.Join(e.Expected, " or ")
+	}
+	return fmt.Sprintf(
+		"pumi-san: rank %d op %d violates the %s protocol: entered %s in state %d where the automaton expects %s",
+		e.Rank, e.Index, e.Entry, e.Op, e.State, exp)
+}
+
+// Is makes errors.Is(err, ErrProtocol) match.
+func (e *ProtocolError) Is(target error) bool { return target == ErrProtocol }
+
+// noEdge marks a missing transition in the dense edge table.
+const noEdge = int32(-1)
+
+// Protocol is a compiled protocol automaton: a DFA over collective op
+// names, immutable and shareable across runs and ranks. Build one from
+// a pumi-proto artifact via automata.Machine.Protocol, or directly with
+// NewProtocol.
+type Protocol struct {
+	entry string
+	ops   []string
+	opID  map[string]int
+	start int
+
+	// Dense transition table: edges[s*width + id] is the successor of
+	// state s on op id, or noEdge. Column len(ops) is the wildcard
+	// (default) transition taken by ops outside the alphabet.
+	width  int
+	edges  []int32
+	accept []bool
+
+	// expected[s] is the sorted op set with transitions from s,
+	// precomputed so the error path never recomputes it.
+	expected [][]string
+}
+
+// NewProtocol validates and compiles a DFA description: ops is the
+// alphabet (sorted or not; order defines nothing), edges[s] maps op
+// names — alphabet members or OpWildcard — to successor states.
+func NewProtocol(entry string, ops []string, start int, accept []bool, edges []map[string]int) (*Protocol, error) {
+	n := len(edges)
+	if n == 0 {
+		return nil, fmt.Errorf("protocol %s: no states", entry)
+	}
+	if len(accept) != n {
+		return nil, fmt.Errorf("protocol %s: %d accept flags for %d states", entry, len(accept), n)
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("protocol %s: start state %d out of range [0,%d)", entry, start, n)
+	}
+	p := &Protocol{
+		entry:  entry,
+		ops:    append([]string(nil), ops...),
+		opID:   make(map[string]int, len(ops)),
+		start:  start,
+		width:  len(ops) + 1,
+		accept: append([]bool(nil), accept...),
+	}
+	for i, op := range p.ops {
+		if op == OpWildcard {
+			return nil, fmt.Errorf("protocol %s: wildcard %q cannot be an alphabet member", entry, op)
+		}
+		if _, dup := p.opID[op]; dup {
+			return nil, fmt.Errorf("protocol %s: duplicate op %q", entry, op)
+		}
+		p.opID[op] = i
+	}
+	p.edges = make([]int32, n*p.width)
+	for i := range p.edges {
+		p.edges[i] = noEdge
+	}
+	p.expected = make([][]string, n)
+	for s, row := range edges {
+		var exp []string
+		for op, next := range row {
+			if next < 0 || next >= n {
+				return nil, fmt.Errorf("protocol %s: state %d op %q leads to state %d out of range", entry, s, op, next)
+			}
+			id, ok := p.opID[op]
+			if !ok {
+				if op != OpWildcard {
+					return nil, fmt.Errorf("protocol %s: state %d has edge on %q, not in the alphabet", entry, s, op)
+				}
+				id = len(p.ops)
+			}
+			p.edges[s*p.width+id] = int32(next)
+			exp = append(exp, op)
+		}
+		sort.Strings(exp)
+		p.expected[s] = exp
+	}
+	return p, nil
+}
+
+// Entry returns the automaton's entry point name.
+func (p *Protocol) Entry() string { return p.entry }
+
+// Ops returns the automaton's alphabet (wildcard excluded).
+func (p *Protocol) Ops() []string { return append([]string(nil), p.ops...) }
+
+// States returns the automaton's state count.
+func (p *Protocol) States() int { return len(p.accept) }
+
+// Start returns the initial state.
+func (p *Protocol) Start() int { return p.start }
+
+// Accepting reports whether state s is accepting: a run may legally
+// finish there.
+func (p *Protocol) Accepting(s int) bool { return p.accept[s] }
+
+// step advances from state s on op. ok is false when the automaton has
+// no transition — explicit or wildcard — for the op there.
+func (p *Protocol) step(s int, op string) (next int, ok bool) {
+	row := p.edges[s*p.width : (s+1)*p.width]
+	if id, known := p.opID[op]; known {
+		if t := row[id]; t != noEdge {
+			return int(t), true
+		}
+	}
+	// Ops outside the alphabet — and alphabet ops without an explicit
+	// edge — fall through to the wildcard column.
+	if t := row[p.width-1]; t != noEdge {
+		return int(t), true
+	}
+	return s, false
+}
+
+// Conformance drives each rank of one run through a shared Protocol.
+// Step and Finish are called only by the rank they name (the PCU
+// runtime calls them from the rank's own goroutine), so per-rank
+// cursors need no locks.
+type Conformance struct {
+	p     *Protocol
+	state []int32
+	idx   []int32
+}
+
+// NewConformance returns a monitor for a run of the given rank count,
+// every rank starting at the protocol's initial state.
+func NewConformance(p *Protocol, ranks int) *Conformance {
+	m := &Conformance{
+		p:     p,
+		state: make([]int32, ranks),
+		idx:   make([]int32, ranks),
+	}
+	for r := range m.state {
+		m.state[r] = int32(p.start)
+	}
+	return m
+}
+
+// Step consumes one collective op on the given rank. A conforming op
+// advances the cursor and returns nil without allocating; an
+// off-automaton op returns a *ProtocolError and leaves the cursor in
+// place (subsequent calls keep failing at the same state).
+func (m *Conformance) Step(rank int, op string) error {
+	s := int(m.state[rank])
+	next, ok := m.p.step(s, op)
+	if !ok {
+		return &ProtocolError{
+			Entry:    m.p.entry,
+			Rank:     rank,
+			Index:    int(m.idx[rank]),
+			Op:       op,
+			State:    s,
+			Expected: m.p.expected[s],
+		}
+	}
+	m.state[rank] = int32(next)
+	m.idx[rank]++
+	return nil
+}
+
+// Finish checks that the rank's stream ended in an accepting state — a
+// complete protocol word. The PCU runtime calls it only when the rank's
+// body returned nil: a rank unwinding with an error (revocation,
+// injected fault, teardown) legally stops mid-protocol.
+func (m *Conformance) Finish(rank int) error {
+	s := int(m.state[rank])
+	if m.p.accept[s] {
+		return nil
+	}
+	return &ProtocolError{
+		Entry:    m.p.entry,
+		Rank:     rank,
+		Index:    int(m.idx[rank]),
+		Op:       "(return)",
+		State:    s,
+		Expected: m.p.expected[s],
+	}
+}
+
+// ReplayResult is one rank's offline verdict from Replay.
+type ReplayResult struct {
+	Steps    int            // ops consumed before stopping
+	Resets   int            // shrink boundaries that reset to the start state
+	Accepted bool           // final state is accepting (meaningless when Err != nil)
+	State    int            // final state
+	Err      *ProtocolError // first off-automaton op, nil when conformant
+}
+
+// Replay drives one rank's recorded op stream through the protocol —
+// the offline counterpart of a Conformance monitor. OpShrink entries
+// mark world boundaries: when the current state has a shrink
+// transition the automaton follows it, otherwise the cursor resets to
+// the start state — a revocation legally cuts the previous world's
+// protocol mid-word, and the rebuilt world starts the protocol over.
+// A non-accepting end of stream is reported via Accepted, not Err: a
+// rank that died mid-protocol ends its trace there legitimately, and
+// the caller decides whether acceptance is required.
+func Replay(p *Protocol, rank int, ops []string) ReplayResult {
+	res := ReplayResult{State: p.start}
+	for i, op := range ops {
+		next, ok := p.step(res.State, op)
+		if !ok && op == OpShrink {
+			res.State = p.start
+			res.Resets++
+			res.Steps++
+			continue
+		}
+		if !ok {
+			res.Err = &ProtocolError{
+				Entry:    p.entry,
+				Rank:     rank,
+				Index:    i,
+				Op:       op,
+				State:    res.State,
+				Expected: p.expected[res.State],
+			}
+			return res
+		}
+		res.State = next
+		res.Steps++
+	}
+	res.Accepted = p.accept[res.State]
+	return res
+}

@@ -1,0 +1,237 @@
+package san
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// epochProtocol hand-builds the DFA of (body · shrink)* · body with
+// body = barrier · exchange — the shape pcu.Supervise produces — so the
+// conformance tests don't depend on the compiler package (which tests
+// against this package in the other direction).
+//
+//	0 -barrier-> 1 -exchange-> 2(accept) -shrink-> 0
+func epochProtocol(t *testing.T) *Protocol {
+	t.Helper()
+	p, err := NewProtocol("test.Epoch",
+		[]string{"barrier", "exchange", "shrink"},
+		0,
+		[]bool{false, false, true},
+		[]map[string]int{
+			{"barrier": 1},
+			{"exchange": 2},
+			{"shrink": 0},
+		})
+	if err != nil {
+		t.Fatalf("NewProtocol: %v", err)
+	}
+	return p
+}
+
+func TestNewProtocolValidation(t *testing.T) {
+	accept := []bool{true}
+	cases := []struct {
+		name  string
+		ops   []string
+		start int
+		acc   []bool
+		edges []map[string]int
+		want  string
+	}{
+		{"no states", []string{"a"}, 0, nil, nil, "no states"},
+		{"accept mismatch", []string{"a"}, 0, []bool{true, false}, []map[string]int{nil}, "accept flags"},
+		{"start out of range", []string{"a"}, 3, accept, []map[string]int{nil}, "out of range"},
+		{"wildcard in alphabet", []string{"a", "*"}, 0, accept, []map[string]int{nil}, "alphabet member"},
+		{"duplicate op", []string{"a", "a"}, 0, accept, []map[string]int{nil}, "duplicate"},
+		{"edge target out of range", []string{"a"}, 0, accept, []map[string]int{{"a": 7}}, "out of range"},
+		{"edge op not in alphabet", []string{"a"}, 0, accept, []map[string]int{{"b": 0}}, "not in the alphabet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewProtocol("test.Bad", tc.ops, tc.start, tc.acc, tc.edges)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConformanceStep(t *testing.T) {
+	p := epochProtocol(t)
+	m := NewConformance(p, 2)
+
+	// Rank 0 runs two full epochs; rank 1 runs one.
+	for _, op := range []string{"barrier", "exchange", "shrink", "barrier", "exchange"} {
+		if err := m.Step(0, op); err != nil {
+			t.Fatalf("rank 0 %s: %v", op, err)
+		}
+	}
+	for _, op := range []string{"barrier", "exchange"} {
+		if err := m.Step(1, op); err != nil {
+			t.Fatalf("rank 1 %s: %v", op, err)
+		}
+	}
+	if err := m.Finish(0); err != nil {
+		t.Fatalf("rank 0 finish: %v", err)
+	}
+	if err := m.Finish(1); err != nil {
+		t.Fatalf("rank 1 finish: %v", err)
+	}
+}
+
+func TestConformanceOutOfOrder(t *testing.T) {
+	p := epochProtocol(t)
+	m := NewConformance(p, 1)
+	if err := m.Step(0, "barrier"); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	// exchange expected next; a premature barrier is off-automaton.
+	err := m.Step(0, "barrier")
+	if err == nil {
+		t.Fatal("out-of-order barrier accepted")
+	}
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("errors.Is(err, ErrProtocol) = false for %v", err)
+	}
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not *ProtocolError", err)
+	}
+	want := &ProtocolError{Entry: "test.Epoch", Rank: 0, Index: 1, Op: "barrier", State: 1, Expected: []string{"exchange"}}
+	if !reflect.DeepEqual(pe, want) {
+		t.Fatalf("ProtocolError = %+v, want %+v", pe, want)
+	}
+	if !strings.Contains(pe.Error(), "expects exchange") {
+		t.Fatalf("message lacks expected-set: %s", pe.Error())
+	}
+
+	// The cursor must not advance on failure: the same violation
+	// reports again at the same state and index.
+	err2 := m.Step(0, "agree")
+	var pe2 *ProtocolError
+	if !errors.As(err2, &pe2) || pe2.State != 1 || pe2.Index != 1 {
+		t.Fatalf("cursor moved after violation: %+v", pe2)
+	}
+}
+
+func TestConformanceUnknownOpRejected(t *testing.T) {
+	p := epochProtocol(t)
+	m := NewConformance(p, 1)
+	err := m.Step(0, "agree") // not in this protocol's alphabet
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Op != "agree" {
+		t.Fatalf("unknown op not rejected: %v", err)
+	}
+}
+
+func TestConformanceFinishMidProtocol(t *testing.T) {
+	p := epochProtocol(t)
+	m := NewConformance(p, 1)
+	if err := m.Step(0, "barrier"); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	err := m.Finish(0)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("finish mid-protocol: %v", err)
+	}
+	if pe.Op != "(return)" || pe.State != 1 {
+		t.Fatalf("finish witness = %+v", pe)
+	}
+}
+
+func TestConformanceWildcardDefault(t *testing.T) {
+	// 0 -a-> 1(accept), plus a wildcard default on state 1 back to 1:
+	// after the first op anything goes.
+	p, err := NewProtocol("test.Wild", []string{"a"}, 0,
+		[]bool{false, true},
+		[]map[string]int{
+			{"a": 1},
+			{OpWildcard: 1},
+		})
+	if err != nil {
+		t.Fatalf("NewProtocol: %v", err)
+	}
+	m := NewConformance(p, 1)
+	for _, op := range []string{"a", "b", "a", "zzz"} {
+		if err := m.Step(0, op); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+	if err := m.Finish(0); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	// State 0 has no wildcard: an op outside the alphabet fails there.
+	m2 := NewConformance(p, 1)
+	if err := m2.Step(0, "b"); err == nil {
+		t.Fatal("wildcard leaked into a state without a default edge")
+	}
+}
+
+// TestConformanceStepZeroAlloc pins the conforming hot path at zero
+// allocations per op: the monitor runs inside every traced collective,
+// so any allocation here is a per-op leak on the PCU fast path.
+func TestConformanceStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are pinned only in the non-race build")
+	}
+	p := epochProtocol(t)
+	m := NewConformance(p, 1)
+	ops := []string{"barrier", "exchange", "shrink"}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := m.Step(0, ops[i%3]); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Conformance.Step allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestReplayEpochs(t *testing.T) {
+	p := epochProtocol(t)
+
+	// A full two-epoch stream: the shrink edge is a real transition, no
+	// resets.
+	res := Replay(p, 0, []string{"barrier", "exchange", "shrink", "barrier", "exchange"})
+	if res.Err != nil {
+		t.Fatalf("replay: %v", res.Err)
+	}
+	if !res.Accepted || res.Resets != 0 || res.Steps != 5 {
+		t.Fatalf("replay = %+v", res)
+	}
+
+	// A revocation cuts epoch 0 mid-body: the shrink marker has no
+	// transition from state 1, so the cursor resets to start and the
+	// rebuilt world's epoch replays cleanly.
+	res = Replay(p, 1, []string{"barrier", "shrink", "barrier", "exchange"})
+	if res.Err != nil {
+		t.Fatalf("replay with reset: %v", res.Err)
+	}
+	if !res.Accepted || res.Resets != 1 {
+		t.Fatalf("replay with reset = %+v", res)
+	}
+
+	// Revoked-world early unwind: a rank that died mid-protocol ends its
+	// stream non-accepting, which is informational — not an error.
+	res = Replay(p, 2, []string{"barrier"})
+	if res.Err != nil {
+		t.Fatalf("early unwind: %v", res.Err)
+	}
+	if res.Accepted || res.State != 1 {
+		t.Fatalf("early unwind = %+v", res)
+	}
+
+	// An off-automaton op is a hard failure with a witness.
+	res = Replay(p, 3, []string{"barrier", "exchange", "exchange"})
+	if res.Err == nil {
+		t.Fatal("out-of-order exchange accepted")
+	}
+	if res.Err.Rank != 3 || res.Err.Index != 2 || res.Err.Op != "exchange" {
+		t.Fatalf("replay witness = %+v", res.Err)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package san
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package san
+
+// raceEnabled gates the allocation-regression test: the race detector's
+// instrumentation changes allocation behavior, so alloc counts are only
+// pinned in the plain build.
+const raceEnabled = true

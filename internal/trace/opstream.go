@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// OpStreams extracts each rank's blocking-op stream from a Chrome
+// trace-event export (WriteChrome), for offline protocol-conformance
+// replay (pumi-trace -conform). A span begin (ph "B") whose name is in
+// ops appends that op to the rank's stream; an instant event (ph "i")
+// named marker is an epoch boundary — each rank's second and later
+// markers append markerOp, so a supervised run's shrink transitions
+// appear in the stream exactly where the online monitor saw them.
+// Event order in the export is chronological per rank (recorders stamp
+// a shared monotonic epoch and the writer sorts stably), so the
+// extracted streams replay in recording order.
+func OpStreams(data []byte, ops []string, marker, markerOp string) (map[int][]string, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome export: %w", err)
+	}
+	if doc.OtherData["schema"] != ChromeSchema {
+		return nil, fmt.Errorf("trace: chrome export schema %q, want %q", doc.OtherData["schema"], ChromeSchema)
+	}
+	opSet := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		opSet[op] = true
+	}
+	streams := map[int][]string{}
+	markers := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "B" && opSet[e.Name]:
+			streams[e.Tid] = append(streams[e.Tid], e.Name)
+		case e.Ph == "i" && e.Name == marker:
+			markers[e.Tid]++
+			if markers[e.Tid] > 1 {
+				streams[e.Tid] = append(streams[e.Tid], markerOp)
+			}
+		}
+	}
+	return streams, nil
+}
