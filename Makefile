@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos chaos-recover san-smoke trace-smoke proto-gen proto-check conform-smoke check
+.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos chaos-recover san-smoke trace-smoke proto-gen proto-check conform-smoke plan-smoke check
 
 all: build
 
@@ -14,13 +14,15 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Regenerate the committed machine-readable benchmark results
-# (BENCH_pr8.json reflects the current tree; BENCH_baseline.json is the
-# frozen pre-overhaul reference — do not regenerate it). The /traced
-# rows measure the same exchange with the flight recorder armed and the
-# /conform rows the same workload under the online protocol monitor, so
-# the file documents both overheads (see DESIGN.md §10 and §13).
+# (BENCH_pr9.json reflects the current tree; BENCH_baseline.json is the
+# frozen pre-overhaul reference and BENCH_pr9_pre.json the frozen
+# pre-plan reference — do not regenerate either). The /traced rows
+# measure the same exchange with the flight recorder armed, the
+# /conform rows the same workload under the online protocol monitor,
+# and the sync/reduce rows the compiled boundary-exchange plans, so the
+# file documents all three overheads (see DESIGN.md §10, §13 and §14).
 bench:
-	$(GO) run ./cmd/pumi-bench -json BENCH_pr8.json
+	$(GO) run ./cmd/pumi-bench -json BENCH_pr9.json
 
 # Go micro-benchmarks, benchstat-ready:
 #   make bench-go | benchstat -
@@ -105,5 +107,12 @@ proto-check:
 conform-smoke:
 	$(GO) test -race -count=1 -run 'TestConform' ./internal/pcu/ ./internal/chaos/
 
+# Plan smoke: race-enabled recoverable soak over the plan-backed ParMA
+# balance with the pcu sanitizer recording the op stream — two passes
+# per seed must report identical recovery trajectories and identical
+# op-sequence hashes (see DESIGN.md §14).
+plan-smoke:
+	$(GO) test -race -count=1 -run 'TestPlanSmoke' ./internal/chaos/
+
 # The full local gate: what CI runs.
-check: vet vet-self sarif-smoke proto-check build test race chaos chaos-recover san-smoke trace-smoke conform-smoke bench-smoke
+check: vet vet-self sarif-smoke proto-check build test race chaos chaos-recover san-smoke trace-smoke conform-smoke plan-smoke bench-smoke

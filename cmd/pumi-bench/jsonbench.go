@@ -123,6 +123,9 @@ func runJSONBench(path string) {
 		{name: "collective/allreduce/ranks=8", fn: benchAllreduce},
 		{name: "collective/allreduce/ranks=8/conform", fn: benchAllreduceConform},
 		{name: "counters/add/ranks=8", fn: benchCounters},
+		{name: "sync/shared/box10/ranks=4", fn: benchSyncShared(syncPlain)},
+		{name: "reduce/shared/box10/ranks=4", fn: benchSyncShared(syncReduce)},
+		{name: "sync/shared/replan/box10/ranks=4", fn: benchSyncShared(syncReplan)},
 		{name: "migrate/box10/ranks=4", fn: benchMigrateOnce(false)},
 		{name: "migrate/box10/ranks=4/traced", fn: benchMigrateOnce(true)},
 	}
@@ -424,6 +427,105 @@ func benchCounters(b *testing.B) {
 	})
 	if err != nil {
 		cmdutil.Fail(err)
+	}
+}
+
+// syncBenchMode selects the boundary-exchange workload measured by
+// benchSyncShared.
+type syncBenchMode int
+
+const (
+	// syncPlain is the steady-state owner-to-copies push: the boundary
+	// structure never changes, so a compiled plan stays hot.
+	syncPlain syncBenchMode = iota
+	// syncReduce is the copies-to-owner accumulation direction.
+	syncReduce
+	// syncReplan is the mutate-every-round worst case: each round dirties
+	// the boundary structure first, so a plan-based implementation must
+	// recompile its exchange schedule on every round.
+	syncReplan
+)
+
+// benchSyncShared measures one shared-boundary data round per op on a
+// box mesh RCB-distributed over 4 ranks: pack a float per owned (or
+// non-owned, for reduce) boundary vertex, exchange, apply on the other
+// side. Values live in a plain per-slot slice so the pack and apply
+// callbacks are allocation-free and the row isolates the exchange
+// machinery itself. Setup (mesh generation + migration) happens once
+// per world and is excluded via b.ResetTimer.
+func benchSyncShared(mode syncBenchMode) func(b *testing.B) {
+	vertDims := []int{0}
+	return func(b *testing.B) {
+		model := gmi.Box(1, 1, 1)
+		_, err := pcu.RunOpt(4, pcu.Options{StallTimeout: -1}, func(ctx *pcu.Ctx) error {
+			var serial *mesh.Mesh
+			if ctx.Rank() == 0 {
+				serial = meshgen.Box3D(model, 10, 10, 10)
+			}
+			dm := partition.Adopt(ctx, model.Model, 3, serial, 1)
+			var plan map[mesh.Ent]int32
+			if ctx.Rank() == 0 {
+				in, els := zpart.Centroids(serial)
+				assign := zpart.RCB(in, 4)
+				plan = map[mesh.Ent]int32{}
+				for j, el := range els {
+					plan[el] = assign[j]
+				}
+			}
+			partition.Migrate(dm, partition.PlansFromAssignment(dm, plan))
+			m := dm.Parts[0].M
+			var maxI int32
+			for e := range m.IterType(mesh.Vertex) {
+				if e.I > maxI {
+					maxI = e.I
+				}
+			}
+			vals := make([]float64, maxI+1)
+			for e := range m.IterType(mesh.Vertex) {
+				vals[e.I] = float64(m.Part())
+			}
+			pack := func(p *partition.Part, e mesh.Ent, buf *pcu.Buffer) { buf.Float64(vals[e.I]) }
+			applySet := func(p *partition.Part, e mesh.Ent, r *pcu.Reader) { vals[e.I] = r.Float64() }
+			applyAdd := func(p *partition.Part, e mesh.Ent, r *pcu.Reader) { vals[e.I] += r.Float64() }
+			// A boundary vertex whose ownership write dirties the
+			// boundary structure each replan round.
+			bv := mesh.NilEnt
+			for e := range m.PartBoundary(0) {
+				bv = e
+				break
+			}
+			round := func() {
+				switch mode {
+				case syncReduce:
+					partition.ReduceShared(dm, vertDims, pack, applyAdd)
+				case syncReplan:
+					if bv.Ok() {
+						m.SetOwner(bv, m.Owner(bv))
+					}
+					partition.SyncShared(dm, vertDims, pack, applySet)
+				default:
+					partition.SyncShared(dm, vertDims, pack, applySet)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				round() // warm buffer pools (and any cached exchange plan)
+			}
+			ctx.Barrier()
+			if ctx.Rank() == 0 {
+				// All ranks are parked in the next Barrier, so resetting
+				// the timer and allocation counters here excludes every
+				// rank's setup from the measurement.
+				b.ResetTimer()
+			}
+			ctx.Barrier()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+			return nil
+		})
+		if err != nil {
+			cmdutil.Fail(err)
+		}
 	}
 }
 

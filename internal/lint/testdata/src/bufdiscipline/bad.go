@@ -76,6 +76,18 @@ func badAttachDirect(c *pcu.Ctx) {
 	}
 }
 
+func badPlannedNoFinalize(c *pcu.Ctx, sub *pcu.Reader, n int) {
+	// A plan-driven receiver knows its record count up front, but the
+	// pooled message must still be finished: without Done (or an Empty
+	// loop) a sender/plan mismatch leaves trailing bytes undetected and
+	// the backing array is never recycled.
+	for _, m := range c.Exchange() {
+		for i := 0; i < n; i++ {
+			sub.Reset(m.Data.BytesNoCopy()) // want `never checked for exhaustion`
+		}
+	}
+}
+
 func badResetDelivered(c *pcu.Ctx, peer int) {
 	b := c.To(peer)
 	b.Int64s([]int64{1, 2})

@@ -109,6 +109,28 @@ func okAttachStandalone(payload []byte, tr *trace.Recorder) {
 	r.Done()
 }
 
+func okPlannedFraming(c *pcu.Ctx, peers []int, payload *pcu.Buffer, sub *pcu.Reader) {
+	// The compiled-plan wire idiom: each record is staged in a reusable
+	// scratch buffer and framed length-prefixed with Bytes; the receiver
+	// slices each record out with BytesNoCopy into a reusable sub-reader
+	// and finishes the message with Done. The scratch buffer and
+	// sub-reader are long-lived parameters, not phase buffers.
+	for _, q := range peers {
+		b := c.To(q)
+		b.Int32(int32(q))
+		payload.Reset()
+		payload.Float64(3)
+		b.Bytes(payload.Raw())
+	}
+	for _, m := range c.Exchange() {
+		for !m.Data.Empty() {
+			sub.Reset(m.Data.BytesNoCopy())
+			_ = sub.Float64()
+		}
+		m.Data.Done()
+	}
+}
+
 func okResetStandalone(vals []int32) *pcu.Buffer {
 	// Reset is legal on standalone buffers never handed to a phase.
 	var b pcu.Buffer

@@ -41,3 +41,28 @@ func okCollectiveAfterRange(c *pcu.Ctx, parts map[int]int) {
 	}
 	_ = pcu.SumInt64(c, n)
 }
+
+func okCompiledPlan(c *pcu.Ctx, copies map[int32]int32) {
+	// The boundary-plan compile idiom: the map range only accumulates
+	// (peer, entity) pairs into local state; the pairs are sorted into
+	// a deterministic schedule and only the slice range communicates.
+	type pair struct{ peer, ent int32 }
+	pairs := make([]pair, 0, len(copies))
+	for q, e := range copies {
+		pairs = append(pairs, pair{q, e})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].peer != pairs[j].peer {
+			return pairs[i].peer < pairs[j].peer
+		}
+		return pairs[i].ent < pairs[j].ent
+	})
+	for _, pr := range pairs {
+		c.To(int(pr.peer)).Int32(pr.ent)
+	}
+	for _, m := range c.Exchange() {
+		for !m.Data.Empty() {
+			_ = m.Data.Int32()
+		}
+	}
+}

@@ -69,9 +69,17 @@ type Mesh struct {
 
 	coords []vec.V // per vertex slot
 
-	// remotes maps a part-boundary entity to its copies on other
-	// parts: peer part id -> handle on that part.
-	remotes [TypeCount]map[int32]map[int32]Ent
+	// links stores the remote-copy links of part-boundary entities:
+	// per type, array-backed chains of (peer part, handle) sorted by
+	// part (see links.go).
+	links [TypeCount]linkStore
+
+	// epoch is the topology epoch: bumped by every mutation that can
+	// change the part-boundary communication structure. See TopoEpoch.
+	epoch uint64
+
+	// nb caches NeighborParts per dimension against the epoch.
+	nb [4]nbCache
 
 	// Tags attaches arbitrary user data to entities.
 	Tags *ds.TagTable[Ent]
@@ -104,10 +112,9 @@ func New(model *gmi.Model, dim int) *Mesh {
 	}
 	for t := Type(0); t < TypeCount; t++ {
 		m.td[t].degree = t.DownCount()
+		m.links[t].free = -1
 	}
-	for t := range m.remotes {
-		m.remotes[t] = map[int32]map[int32]Ent{}
-	}
+	m.epoch = 1
 	m.Tags.OnSet = func(e Ent) { m.guardWrite("tag", e) }
 	return m
 }
@@ -151,10 +158,12 @@ func (m *Mesh) Alive(e Ent) bool {
 func (m *Mesh) alloc(t Type) int32 {
 	td := &m.td[t]
 	var idx int32
+	ls := &m.links[t]
 	if n := len(td.free); n > 0 {
 		idx = td.free[n-1]
 		td.free = td.free[:n-1]
 		td.alive[idx] = true
+		ls.clear(idx)
 		td.classif[idx] = gmi.NoRef
 		td.flags[idx] = 0
 		td.owner[idx] = m.part
@@ -174,11 +183,13 @@ func (m *Mesh) alloc(t Type) int32 {
 		td.flags = append(td.flags, 0)
 		td.owner = append(td.owner, m.part)
 		td.alive = append(td.alive, true)
+		ls.growTo(int(idx) + 1)
 		if t == Vertex {
 			m.coords = append(m.coords, vec.V{})
 		}
 	}
 	td.nAlive++
+	m.bumpEpoch()
 	return idx
 }
 
@@ -267,7 +278,7 @@ func (m *Mesh) Destroy(e Ent) {
 		td.down[base+j] = NilEnt
 	}
 	m.Tags.DeleteAll(e)
-	delete(m.remotes[e.T], e.I)
+	m.links[e.T].clear(e.I)
 	for _, s := range m.sets {
 		s.Remove(e)
 	}
@@ -277,6 +288,7 @@ func (m *Mesh) Destroy(e Ent) {
 	td.firstUse[e.I] = nilUse
 	td.free = append(td.free, e.I)
 	td.nAlive--
+	m.bumpEpoch()
 }
 
 // DestroyRecursive removes an entity and any downward entities left

@@ -68,7 +68,7 @@ func VerifyParallel(c *pcu.Ctx, ms ...*Mesh) error {
 		for d := 0; d < m.Dim(); d++ {
 			for e := range m.Iter(d) {
 				if m.IsGhost(e) {
-					if len(m.remotes[e.T][e.I]) > 0 {
+					if m.HasRemotes(e) {
 						record(fmt.Errorf("mesh: ghost %v on part %d has remote-copy links", e, m.Part()))
 					}
 					continue

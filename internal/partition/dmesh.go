@@ -64,16 +64,24 @@ func newPart(m *mesh.Mesh) *Part {
 // commit, checkpoint restitching, owner-to-copy synchronization) use it
 // around the steps that legitimately write to entities the writing part
 // does not own.
+// The resume functions collect into a slice reused across calls, and
+// the returned closer is built once, so the steady-state hot paths
+// (planned sync rounds) stay allocation-free. Windows from nested
+// suspendGuards calls close in LIFO order like before, because the
+// shared closer pops only the functions its own call pushed.
 func (dm *DMesh) suspendGuards() func() {
-	resumes := make([]func(), len(dm.Parts))
-	for i, p := range dm.Parts {
-		resumes[i] = p.M.SuspendGuard()
-	}
-	return func() {
-		for i := len(resumes) - 1; i >= 0; i-- {
-			resumes[i]()
+	if dm.resumeAll == nil {
+		dm.resumeAll = func() {
+			for i := len(dm.resume) - 1; i >= len(dm.resume)-len(dm.Parts); i-- {
+				dm.resume[i]()
+			}
+			dm.resume = dm.resume[:len(dm.resume)-len(dm.Parts)]
 		}
 	}
+	for _, p := range dm.Parts {
+		dm.resume = append(dm.resume, p.M.SuspendGuard())
+	}
+	return dm.resumeAll
 }
 
 // Gid returns e's global id (-1 if never assigned).
@@ -140,6 +148,23 @@ type DMesh struct {
 	Dim   int
 	K     int // parts per rank
 	Parts []*Part
+
+	// Compiled boundary-exchange plans (plan.go), cached against the
+	// parts' topology epochs, plus the scratch the planned execution
+	// path reuses so steady-state rounds do not allocate.
+	plans     map[dimsKey]*BoundaryPlan
+	ghostPlan *ghostSyncPlan
+	payload   pcu.Buffer
+	sub       pcu.Reader
+
+	// nbRanks caches NeighborRanks against the parts' epochs.
+	nbRanks    []int
+	nbEpochs   []uint64
+	nbRanksSet bool
+
+	// resume and resumeAll are suspendGuards scratch, reused per call.
+	resume    []func()
+	resumeAll func()
 }
 
 // New creates a distributed mesh with k empty parts on every rank.

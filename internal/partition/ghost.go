@@ -122,6 +122,9 @@ func Ghost(dm *DMesh, bridgeDim, layers int) {
 			})
 		}
 	}
+	// ghostsOf/ghostHome changed without a mesh mutation on the sending
+	// side, so the epoch vector alone cannot catch it: drop the plan.
+	dm.ghostPlan = nil
 }
 
 // packGhosts encodes elements plus closures like migration but with
@@ -279,12 +282,131 @@ func RemoveGhosts(dm *DMesh) {
 		part.ghostHome = map[mesh.Ent]mesh.RemoteCopyRef{}
 		part.ghostsOf = map[mesh.Ent][]mesh.RemoteCopyRef{}
 	}
+	dm.ghostPlan = nil
+}
+
+// ghostSyncPlan is the compiled home-to-ghost push schedule: per local
+// part, CSR runs of home elements to send per peer and of local ghost
+// entities to apply per peer, both in the home-part handle order both
+// sides derive locally from their ghost bookkeeping (ghostsOf on the
+// home side, ghostHome on the ghost side).
+type ghostSyncPlan struct {
+	epochs      []uint64
+	parts       []partPlan
+	returnRanks []int // see BoundaryPlan.returnRanks
+}
+
+// ghostSync returns the cached ghost push plan, recompiling it if the
+// epoch vector moved (Ghost and RemoveGhosts also drop it explicitly,
+// since they edit the ghost bookkeeping of parts whose meshes did not
+// change).
+func (dm *DMesh) ghostSync() *ghostSyncPlan {
+	if pl := dm.ghostPlan; pl != nil && dm.epochsMatch(pl.epochs) {
+		dm.Ctx.Counters().Add("partition.plan.hit", 1)
+		return pl
+	}
+	dm.Ctx.Counters().Add("partition.plan.miss", 1)
+	tr := dm.Ctx.Trace()
+	tr.Begin("partition.plan")
+	defer tr.End("partition.plan")
+	pl := &ghostSyncPlan{
+		epochs: make([]uint64, 0, len(dm.Parts)),
+		parts:  make([]partPlan, len(dm.Parts)),
+	}
+	var sends, recvs []planPair
+	for li, part := range dm.Parts {
+		sends, recvs = sends[:0], recvs[:0]
+		for e, gs := range part.ghostsOf {
+			for _, g := range gs {
+				sends = append(sends, planPair{peer: g.Part, key: e, ent: e})
+			}
+		}
+		for g, home := range part.ghostHome {
+			recvs = append(recvs, planPair{peer: home.Part, key: home.Ent, ent: g})
+		}
+		pp := &pl.parts[li]
+		pp.sendPeers, pp.sendOff, pp.sendEnts = buildCSR(sends)
+		pp.recvPeers, pp.recvOff, pp.recvEnts = buildCSR(recvs)
+	}
+	pl.epochs = dm.recordEpochs(pl.epochs)
+	pl.returnRanks = returnRanks(dm, pl.parts)
+	dm.ghostPlan = pl
+	return pl
 }
 
 // SyncGhostFloatTag pushes the owner's float tag values on elements to
 // all their ghost copies (collective). The tag must exist on every part
-// under the same name.
+// under the same name. Runs on the cached ghost plan: each planned
+// entry is a presence byte plus the value, in the agreed order, with
+// no per-entity addressing; the headered path remains the sanitizer
+// fallback.
 func SyncGhostFloatTag(dm *DMesh, name string) {
+	if !planned() {
+		syncGhostFloatTagHeadered(dm, name)
+		return
+	}
+	pl := dm.ghostSync()
+	ctx := dm.Ctx
+	for li := range dm.Parts {
+		part := dm.Parts[li]
+		m := part.M
+		tag := m.Tags.Find(name)
+		if tag == nil {
+			// No tag on this part: no sections. Receivers read only
+			// what arrives, so silence is well-formed.
+			continue
+		}
+		pp := &pl.parts[li]
+		from := m.Part()
+		for pi, q := range pp.sendPeers {
+			b := ctx.To(dm.RankOf(q))
+			b.Int32(from)
+			b.Int32(q)
+			for _, e := range pp.sendEnts[pp.sendOff[pi]:pp.sendOff[pi+1]] {
+				if v, ok := m.Tags.GetFloat(tag, e); ok {
+					b.Byte(1)
+					b.Float64(v)
+				} else {
+					b.Byte(0)
+				}
+			}
+		}
+	}
+	for _, r := range pl.returnRanks {
+		ctx.To(r) // empty return message; see BoundaryPlan.returnRanks
+	}
+	// Applying the owner's values onto ghost copies is the sanctioned
+	// owner-to-copy direction.
+	defer dm.suspendGuards()()
+	for _, msg := range ctx.Exchange() {
+		for !msg.Data.Empty() {
+			from := msg.Data.Int32()
+			to := msg.Data.Int32()
+			part := dm.LocalPart(to)
+			m := part.M
+			tag := m.Tags.Find(name)
+			pp := &pl.parts[dm.localIndex(to)]
+			j := pp.recvPeerIndex(from)
+			if j < 0 {
+				panic(fmt.Sprintf("partition: ghost plan on part %d expects nothing from part %d (stale plan?)", to, from))
+			}
+			for _, e := range pp.recvEnts[pp.recvOff[j]:pp.recvOff[j+1]] {
+				if msg.Data.Byte() == 0 {
+					continue
+				}
+				v := msg.Data.Float64()
+				if tag != nil {
+					m.Tags.SetFloat(tag, e, v)
+				}
+			}
+		}
+		msg.Data.Done()
+	}
+}
+
+// syncGhostFloatTagHeadered is the self-describing fallback wire
+// format, each record addressed by the ghost copy's (type, index).
+func syncGhostFloatTagHeadered(dm *DMesh, name string) {
 	ph := dm.beginPhase()
 	for _, part := range dm.Parts {
 		m := part.M

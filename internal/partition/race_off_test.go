@@ -1,0 +1,5 @@
+//go:build !race
+
+package partition
+
+const raceEnabled = false

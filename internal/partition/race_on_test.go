@@ -1,0 +1,8 @@
+//go:build race
+
+package partition
+
+// raceEnabled gates allocation-regression tests: the race detector's
+// instrumentation changes allocation behavior, so counts are only
+// meaningful in the plain test lane.
+const raceEnabled = true

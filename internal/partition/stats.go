@@ -92,12 +92,13 @@ func GatherBoundaryTraffic(dm *DMesh, dim int) BoundaryTraffic {
 		for e := range m.PartBoundary(dim) {
 			local.SharedTotal++
 			off := false
-			for _, q := range m.RemoteParts(e) {
+			m.EachRemote(e, func(q int32, _ mesh.Ent) bool {
 				if topo.NodeOf(dm.RankOf(q)) != myNode {
 					off = true
-					break
+					return false
 				}
-			}
+				return true
+			})
 			if off {
 				local.SharedOffNode++
 			} else {

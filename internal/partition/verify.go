@@ -43,16 +43,17 @@ func CheckDistributed(dm *DMesh) error {
 		m := part.M
 		for d := 0; d < dm.Dim; d++ {
 			for e := range m.PartBoundary(d) {
-				for _, rc := range m.Remotes(e) {
-					b := ph.to(m.Part(), rc.Part)
+				m.EachRemote(e, func(q int32, h mesh.Ent) bool {
+					b := ph.to(m.Part(), q)
 					b.Byte(byte(d))
 					b.Int64(part.Gid(e))
-					b.Byte(byte(rc.Ent.T))
-					b.Int32(rc.Ent.I)
+					b.Byte(byte(h.T))
+					b.Int32(h.I)
 					b.Byte(byte(e.T))
 					b.Int32(e.I)
 					b.Int32(m.Owner(e))
-				}
+					return true
+				})
 			}
 		}
 	}
@@ -104,6 +105,9 @@ func CheckDistributed(dm *DMesh) error {
 			}
 		}
 	}
+
+	// Compiled boundary plans must agree across parts too (collective).
+	checkPlans(dm, record)
 
 	// Surface whether any rank failed so tests can assert collectively.
 	anyErr := pcu.Allreduce(dm.Ctx, firstErr != nil, func(a, b bool) bool { return a || b })
