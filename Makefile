@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos chaos-recover san-smoke trace-smoke proto-gen proto-check conform-smoke plan-smoke check
+.PHONY: all build test bench bench-go bench-smoke race vet pumi-vet vet-self sarif-smoke chaos chaos-recover san-smoke trace-smoke telemetry-smoke proto-gen proto-check conform-smoke plan-smoke check
 
 all: build
 
@@ -22,7 +22,7 @@ test:
 # and the sync/reduce rows the compiled boundary-exchange plans, so the
 # file documents all three overheads (see DESIGN.md §10, §13 and §14).
 bench:
-	$(GO) run ./cmd/pumi-bench -json BENCH_pr9.json
+	$(GO) run ./cmd/pumi-bench -json BENCH_pr10.json
 
 # Go micro-benchmarks, benchstat-ready:
 #   make bench-go | benchstat -
@@ -85,6 +85,14 @@ san-smoke:
 trace-smoke:
 	$(GO) run ./cmd/pumi-bench -exp hybrid -san -trace /tmp/pumi-trace-smoke.json
 	$(GO) run ./cmd/pumi-trace -validate /tmp/pumi-trace-smoke.json /tmp/pumi-trace-smoke.summary.json
+	$(GO) run ./cmd/pumi-trace -critical /tmp/pumi-trace-smoke.json
+
+# Telemetry smoke: the balancing stack runs metered with the live
+# introspection endpoint up, rank 0 scrapes /metrics, /trace, /protocol
+# and /healthz over real HTTP mid-run, and every document must validate
+# against its schema (see DESIGN.md §15).
+telemetry-smoke:
+	$(GO) test -race -count=1 -run 'TestTelemetrySmoke|TestTelemetrySourcesLive' ./internal/chaos/ ./internal/pcu/
 
 # Regenerate the committed protocol-automata artifact: the communication
 # effect terms of the standard entry points compiled to minimal DFAs
@@ -115,4 +123,4 @@ plan-smoke:
 	$(GO) test -race -count=1 -run 'TestPlanSmoke' ./internal/chaos/
 
 # The full local gate: what CI runs.
-check: vet vet-self sarif-smoke proto-check build test race chaos chaos-recover san-smoke trace-smoke conform-smoke plan-smoke bench-smoke
+check: vet vet-self sarif-smoke proto-check build test race chaos chaos-recover san-smoke trace-smoke telemetry-smoke conform-smoke plan-smoke bench-smoke

@@ -26,6 +26,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/partition"
 	"github.com/fastmath/pumi-go/internal/pcu"
 	"github.com/fastmath/pumi-go/internal/san"
+	"github.com/fastmath/pumi-go/internal/telemetry"
 	"github.com/fastmath/pumi-go/internal/trace"
 	"github.com/fastmath/pumi-go/internal/zpart"
 )
@@ -98,6 +99,10 @@ func runJSONBench(path string) {
 			fn: benchExchangeConform(hwtopo.Cluster(1, exchangeRanks), false),
 		},
 		{
+			name: "exchange/sparse/on-node/metered", setBytes: 2 * exchangePayload,
+			fn: benchExchangeMetered(hwtopo.Cluster(1, exchangeRanks), false),
+		},
+		{
 			name: "exchange/sparse/off-node", setBytes: 2 * exchangePayload,
 			fn:    benchExchange(hwtopo.Cluster(exchangeRanks, 1), false),
 			probe: probeExchange(hwtopo.Cluster(exchangeRanks, 1), false),
@@ -109,6 +114,10 @@ func runJSONBench(path string) {
 		{
 			name: "exchange/sparse/off-node/conform", setBytes: 2 * exchangePayload,
 			fn: benchExchangeConform(hwtopo.Cluster(exchangeRanks, 1), false),
+		},
+		{
+			name: "exchange/sparse/off-node/metered", setBytes: 2 * exchangePayload,
+			fn: benchExchangeMetered(hwtopo.Cluster(exchangeRanks, 1), false),
 		},
 		{
 			name: "exchange/dense/on-node", setBytes: exchangeRanks * exchangePayload,
@@ -297,6 +306,19 @@ func loopProtocol(ops ...string) *san.Protocol {
 		cmdutil.Fail(err)
 	}
 	return p
+}
+
+// benchExchangeMetered is the same workload with live metering armed —
+// latency and arrival-skew histograms, queue and pool gauges and the
+// per-neighbor traffic matrix all recording — so the /metered row vs
+// its plain sibling documents the telemetry overhead on both delivery
+// classes. The zero-alloc pin for this path is
+// pcu.TestExchangeMeteredZeroAlloc.
+func benchExchangeMetered(topo hwtopo.Topology, dense bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		opt := pcu.Options{Topo: topo, StallTimeout: -1, Metrics: telemetry.NewRegistry()}
+		benchExchangeOpt(opt, dense)(b)
+	}
 }
 
 // benchExchangeConform is the same workload with the online protocol

@@ -43,9 +43,11 @@ func main() {
 	sanitize := flag.Bool("san", false, "run everything under pumi-san: cross-check collective schedules across ranks, enforce owner-only mesh writes, and print the op-sequence hash at exit")
 	conformFile := flag.String("conform", "", "with -chaos -recover: pumi-proto/1 automata artifact (pumi-vet -emit-automata); every world of the soak runs under the chaos.RunRecoverable machine's online protocol monitor")
 	tracePath := flag.String("trace", "", cmdutil.TraceUsage)
+	listenAddr := flag.String("listen", "", cmdutil.ListenUsage)
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
 	defer cmdutil.StartTrace(*tracePath)()
+	defer cmdutil.StartListen(*listenAddr)()
 	if *sanitize {
 		san.Enable()
 		pcu.SetDefaultSanitize(true)

@@ -35,9 +35,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit; expiring aborts the run")
 	sanitize := flag.Bool("san", false, "after partitioning, distribute the assignment across in-process ranks and verify the distributed mesh under pumi-san")
 	tracePath := flag.String("trace", "", cmdutil.TraceUsage)
+	listenAddr := flag.String("listen", "", cmdutil.ListenUsage)
 	flag.Parse()
 	defer cmdutil.WithTimeout(*timeout)()
 	defer cmdutil.StartTrace(*tracePath)()
+	defer cmdutil.StartListen(*listenAddr)()
 	if *meshFile == "" {
 		cmdutil.Usagef("-mesh is required")
 	}

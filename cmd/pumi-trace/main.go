@@ -8,7 +8,11 @@
 //	pumi-trace out.summary.json              # render the metrics summary
 //	pumi-trace before.json after.json        # diff per-phase durations
 //	pumi-trace -validate out.json out.summary.json
+//	pumi-trace -critical out.json              # per-phase straggler blame table
 //	pumi-trace -conform automata.json -entry chaos.RunRecoverable out.json
+//
+// Every reader accepts gzip-compressed recordings (.json.gz)
+// transparently.
 //
 // -conform replays each rank's blocking-op stream through a protocol
 // automaton from a pumi-proto/1 artifact (pumi-vet -emit-automata) —
@@ -42,6 +46,7 @@ func main() {
 	rank := flag.Int("rank", -1, "show only this rank's track (-1 for all)")
 	phase := flag.String("phase", "", "show only events whose name contains this substring")
 	validate := flag.Bool("validate", false, "validate each file against its schema and exit; nonzero status on the first invalid file")
+	critical := flag.Bool("critical", false, "print the critical-path blame table: each phase's arrival skew attributed to its last-arriving rank and the span that delayed it")
 	conformFile := flag.String("conform", "", "pumi-proto/1 automata artifact; replay each rank's op stream through it and fail on violations")
 	entry := flag.String("entry", "", "with -conform, the machine to enforce (defaults when the artifact holds exactly one)")
 	flag.Parse()
@@ -52,6 +57,14 @@ func main() {
 			cmdutil.Usagef("-conform needs exactly one timeline file; got %d", len(args))
 		}
 		conform(*conformFile, *entry, args[0], *rank)
+		return
+	}
+
+	if *critical {
+		if len(args) != 1 {
+			cmdutil.Usagef("-critical needs exactly one timeline file; got %d", len(args))
+		}
+		criticalPath(args[0])
 		return
 	}
 
@@ -108,10 +121,7 @@ func conform(artifact, entry, tracePath string, only int) {
 	if err != nil {
 		cmdutil.Fail(err)
 	}
-	data, err := os.ReadFile(tracePath)
-	if err != nil {
-		cmdutil.Fail(err)
-	}
+	data := readTraceFile(tracePath)
 	streams, err := trace.OpStreams(data, san.RuntimeCollectiveOps, "pcu.world", san.OpShrink)
 	if err != nil {
 		cmdutil.Fail(err)
@@ -148,12 +158,38 @@ func conform(artifact, entry, tracePath string, only int) {
 	}
 }
 
+// readTraceFile loads a recording, transparently decompressing
+// gzip-compressed timelines (.json.gz) so every reader below works on
+// plain bytes.
+func readTraceFile(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		cmdutil.Fail(err)
+	}
+	plain, err := trace.MaybeGunzip(data)
+	if err != nil {
+		cmdutil.Fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return plain
+}
+
 func validateFile(path string) (trace.FileKind, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return trace.FileUnknown, err
 	}
 	return trace.ValidateFile(data)
+}
+
+// criticalPath renders the blame table of one timeline: per phase, the
+// arrival skew between first and last rank, which rank arrived last and
+// what that rank was doing instead.
+func criticalPath(path string) {
+	rep, err := trace.CriticalPathChrome(readTraceFile(path))
+	if err != nil {
+		cmdutil.Fail(fmt.Errorf("%s: %w", path, err))
+	}
+	rep.Format(os.Stdout)
 }
 
 // chromeEvent mirrors the records trace.WriteChrome emits; only the
@@ -174,10 +210,7 @@ type chromeFile struct {
 // load validates a file and decodes it as either a timeline or a
 // summary; exactly one of the returns is non-nil.
 func load(path string) (*chromeFile, *trace.Summary) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		cmdutil.Fail(err)
-	}
+	data := readTraceFile(path)
 	kind, err := trace.ValidateFile(data)
 	if err != nil {
 		cmdutil.Fail(fmt.Errorf("%s: %w", path, err))

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/fastmath/pumi-go/internal/gmi"
 	"github.com/fastmath/pumi-go/internal/mesh"
@@ -240,6 +241,10 @@ func SaveCheckpoint(dir string, dm *partition.DMesh, cur Cursor) error {
 	ctx := dm.Ctx
 	ctx.Trace().Begin("checkpoint.save")
 	defer ctx.Trace().End("checkpoint.save")
+	saveStart := time.Now()
+	defer func() {
+		ctx.Metrics().Histogram("meshio.checkpoint.save.ns").Observe(ctx.Rank(), int64(time.Since(saveStart)))
+	}()
 	var seq int64 = 1
 	if ctx.Rank() == 0 {
 		if man, err := readManifest(dir); err == nil {
@@ -266,6 +271,7 @@ func SaveCheckpoint(dir string, dm *partition.DMesh, cur Cursor) error {
 			localErr = err
 			break
 		}
+		ctx.Metrics().Histogram("meshio.checkpoint.save.bytes").Observe(ctx.Rank(), int64(len(data)))
 		name := fmt.Sprintf(partFilePattern, seq, p.M.Part())
 		path := filepath.Join(dir, name)
 		tmp := path + ".tmp"
@@ -399,6 +405,10 @@ func cleanupStale(dir string, man *checkpointManifest) {
 func LoadCheckpoint(dir string, ctx *pcu.Ctx, model *gmi.Model) (*partition.DMesh, Cursor, error) {
 	ctx.Trace().Begin("checkpoint.load")
 	defer ctx.Trace().End("checkpoint.load")
+	loadStart := time.Now()
+	defer func() {
+		ctx.Metrics().Histogram("meshio.checkpoint.load.ns").Observe(ctx.Rank(), int64(time.Since(loadStart)))
+	}()
 	dm, cur, err := loadEpoch(dir, manifestName, ctx, model)
 	if err == nil {
 		return dm, cur, nil
@@ -460,6 +470,7 @@ func loadEpoch(dir, manifest string, ctx *pcu.Ctx, model *gmi.Model) (*partition
 			localErr = fmt.Errorf("meshio: %s fails its CRC check (%08x != %08x)", f.Name, crc, f.CRC)
 			break
 		}
+		ctx.Metrics().Histogram("meshio.checkpoint.load.bytes").Observe(ctx.Rank(), int64(len(data)))
 		p, r, err := decodePart(data, pid, model, man.Dim)
 		if err != nil {
 			localErr = err

@@ -84,6 +84,9 @@ func BalanceSafe(dm *partition.DMesh, pri Priority, cfg Config) (Result, error) 
 	dm.Ctx.Trace().Begin("parma.balance")
 	defer dm.Ctx.Trace().End("parma.balance")
 	start := time.Now()
+	defer func() {
+		dm.Ctx.Metrics().Histogram("parma.balance.ns").Observe(dm.Ctx.Rank(), int64(time.Since(start)))
+	}()
 	res := Result{Priority: pri}
 	for li, level := range pri {
 		for _, t := range level {
@@ -102,6 +105,11 @@ func BalanceSafe(dm *partition.DMesh, pri Priority, cfg Config) (Result, error) 
 func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (LevelResult, error) {
 	lr := LevelResult{Dim: t}
 	tr := dm.Ctx.Trace()
+	// Metered runs record each iteration's duration and publish the
+	// allreduced imbalance as a live gauge; handles are nil (no-op) for
+	// unmetered runs.
+	iterNs := dm.Ctx.Metrics().Histogram("parma.iter.ns")
+	imbGauge := dm.Ctx.Metrics().Gauge("parma.imbalance")
 	higher := pri.guarded(li, t)
 	best := 0.0
 	stale := 0
@@ -118,6 +126,7 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (Level
 		// Every rank records the same allreduced imbalance, so the
 		// summary's imbalance-vs-iteration series can come from any rank.
 		tr.ParmaIter(t, iter, imb)
+		imbGauge.Set(dm.Ctx.Rank(), imb)
 		if iter == 0 {
 			lr.Before, lr.MeanBefore = imb, mean
 			best = imb
@@ -146,7 +155,12 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (Level
 		// The iteration span covers plan construction, migration and the
 		// checkpoint hook; its args carry the dimension, iteration index
 		// and the imbalance the iteration set out to fix.
+		iterStart := time.Now()
 		tr.BeginArgs("parma.iter", int64(t), int64(iter), imb)
+		endIter := func() {
+			tr.End("parma.iter")
+			iterNs.Observe(dm.Ctx.Rank(), int64(time.Since(iterStart)))
+		}
 		plans := buildPlans(dm, counts, t, higher, pri, li, cfg)
 		moved := int64(0)
 		for _, p := range plans {
@@ -154,18 +168,18 @@ func balanceDim(dm *partition.DMesh, pri Priority, li, t int, cfg Config) (Level
 		}
 		totalMoved := sumAcross(dm, moved)
 		if err := partition.TryMigrate(dm, plans); err != nil {
-			tr.End("parma.iter")
+			endIter()
 			lr.Iters = iter
 			return lr, err
 		}
 		lr.Iters = iter + 1
 		if cfg.OnIter != nil {
 			if err := cfg.OnIter(dm, t, iter); err != nil {
-				tr.End("parma.iter")
+				endIter()
 				return lr, err
 			}
 		}
-		tr.End("parma.iter")
+		endIter()
 		if totalMoved == 0 {
 			// Diffusion stalled; no point iterating further.
 			break

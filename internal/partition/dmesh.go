@@ -20,6 +20,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/mesh"
 	"github.com/fastmath/pumi-go/internal/pcu"
 	"github.com/fastmath/pumi-go/internal/san"
+	"github.com/fastmath/pumi-go/internal/telemetry"
 )
 
 // freshGidBase is the bit position above which part-scoped id ranges
@@ -156,6 +157,11 @@ type DMesh struct {
 	ghostPlan *ghostSyncPlan
 	payload   pcu.Buffer
 	sub       pcu.Reader
+
+	// execNs is the plan-execution latency series, resolved lazily on
+	// the first metered execPlan round and nil for unmetered runs, so
+	// the steady-state path pays two nil checks and no mutex.
+	execNs *telemetry.Histogram
 
 	// nbRanks caches NeighborRanks against the parts' epochs.
 	nbRanks    []int

@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/fastmath/pumi-go/internal/gmi"
 	"github.com/fastmath/pumi-go/internal/mesh"
@@ -309,6 +310,7 @@ func (dm *DMesh) ghostSync() *ghostSyncPlan {
 	tr := dm.Ctx.Trace()
 	tr.Begin("partition.plan")
 	defer tr.End("partition.plan")
+	start := time.Now()
 	pl := &ghostSyncPlan{
 		epochs: make([]uint64, 0, len(dm.Parts)),
 		parts:  make([]partPlan, len(dm.Parts)),
@@ -330,6 +332,7 @@ func (dm *DMesh) ghostSync() *ghostSyncPlan {
 	}
 	pl.epochs = dm.recordEpochs(pl.epochs)
 	pl.returnRanks = returnRanks(dm, pl.parts)
+	dm.Ctx.Metrics().Histogram("partition.plan.compile.ns").Observe(dm.Ctx.Rank(), int64(time.Since(start)))
 	dm.ghostPlan = pl
 	return pl
 }

@@ -1,0 +1,41 @@
+package partition
+
+import (
+	"testing"
+
+	"github.com/fastmath/pumi-go/internal/mesh"
+	"github.com/fastmath/pumi-go/internal/pcu"
+	"github.com/fastmath/pumi-go/internal/telemetry"
+)
+
+// TestPlannedExchangeMetered checks a metered run feeds the partition
+// layer's live series: plan compilation and execution latencies from
+// the planned boundary exchange, and migration durations from the
+// initial distribution.
+func TestPlannedExchangeMetered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	const ranks = 4
+	_, err := pcu.RunOpt(ranks, pcu.Options{Metrics: reg}, func(ctx *pcu.Ctx) error {
+		dm := planWorld(ctx)
+		round := func() {
+			SyncShared(dm, []int{0},
+				func(p *Part, e mesh.Ent, b *pcu.Buffer) { b.Float64(float64(p.Gid(e))) },
+				func(p *Part, e mesh.Ent, r *pcu.Reader) { _ = r.Float64() })
+		}
+		round()
+		round() // second round hits the cached plan: exec without compile
+		return Verify(dm)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Histogram("partition.plan.exec.ns").Count(); n < ranks*2 {
+		t.Errorf("plan exec observations = %d, want >= %d", n, ranks*2)
+	}
+	if reg.Histogram("partition.plan.compile.ns").Count() == 0 {
+		t.Error("no plan compile durations recorded")
+	}
+	if reg.Histogram("partition.migrate.ns").Count() == 0 {
+		t.Error("no migration durations recorded")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/fastmath/pumi-go/internal/ds"
 	"github.com/fastmath/pumi-go/internal/gmi"
@@ -124,6 +125,10 @@ func TryMigrate(dm *DMesh, plans []Plan) error {
 	tr := dm.Ctx.Trace()
 	tr.Begin("partition.migrate")
 	defer tr.End("partition.migrate")
+	start := time.Now()
+	defer func() {
+		dm.Ctx.Metrics().Histogram("partition.migrate.ns").Observe(dm.Ctx.Rank(), int64(time.Since(start)))
+	}()
 	d := dm.Dim
 	for _, part := range dm.Parts {
 		if part.nGhosts > 0 {

@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/fastmath/pumi-go/internal/mesh"
 	"github.com/fastmath/pumi-go/internal/pcu"
@@ -132,7 +133,9 @@ func (dm *DMesh) boundaryPlan(dims []int, dir planDir) *BoundaryPlan {
 	tr := dm.Ctx.Trace()
 	tr.Begin("partition.plan")
 	defer tr.End("partition.plan")
+	start := time.Now()
 	pl := compilePlan(dm, key)
+	dm.Ctx.Metrics().Histogram("partition.plan.compile.ns").Observe(dm.Ctx.Rank(), int64(time.Since(start)))
 	if dm.plans == nil {
 		dm.plans = map[dimsKey]*BoundaryPlan{}
 	}
@@ -269,6 +272,13 @@ func planned() bool { return !san.Enabled() }
 // scratch, the sub-reader and the transport buffers are all reused.
 func (dm *DMesh) execPlan(pl *BoundaryPlan, pack func(p *Part, e mesh.Ent, b *pcu.Buffer), apply func(p *Part, e mesh.Ent, r *pcu.Reader)) {
 	ctx := dm.Ctx
+	if dm.execNs == nil {
+		dm.execNs = ctx.Metrics().Histogram("partition.plan.exec.ns")
+	}
+	var start time.Time
+	if dm.execNs != nil {
+		start = time.Now()
+	}
 	for li := range dm.Parts {
 		part := dm.Parts[li]
 		pp := &pl.parts[li]
@@ -304,6 +314,9 @@ func (dm *DMesh) execPlan(pl *BoundaryPlan, pack func(p *Part, e mesh.Ent, b *pc
 			}
 		}
 		msg.Data.Done()
+	}
+	if dm.execNs != nil {
+		dm.execNs.Observe(ctx.Rank(), int64(time.Since(start)))
 	}
 }
 

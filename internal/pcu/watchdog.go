@@ -79,6 +79,11 @@ type StallError struct {
 	// sends and faults leading up to the stall, not just the op each
 	// rank is frozen in. Empty for untraced runs.
 	Trails []string
+	// Counters is the run's merged perf report (perf.Counters.Report) at
+	// diagnosis time, so a stall carries its counter state — how much
+	// work each phase did before freezing — without a separate scrape.
+	// Empty when the run accumulated nothing.
+	Counters string
 }
 
 func (e *StallError) Error() string {
@@ -94,6 +99,13 @@ func (e *StallError) Error() string {
 		for _, t := range e.Trails {
 			b.WriteString("\n    ")
 			b.WriteString(t)
+		}
+	}
+	if e.Counters != "" {
+		b.WriteString("\n  counters:")
+		for _, line := range strings.Split(strings.TrimRight(e.Counters, "\n"), "\n") {
+			b.WriteString("\n    ")
+			b.WriteString(line)
 		}
 	}
 	return b.String()
@@ -268,6 +280,11 @@ func (w *World) stall(err *StallError) {
 		// Safe while ranks still run: each Recorder snapshot locks its
 		// ring against the owning rank's writes.
 		err.Trails = w.tr.TailStrings(stallTrail)
+	}
+	if err.Counters == "" {
+		// Shard merging is read-only and lock-per-shard: safe while the
+		// stalled ranks sit in the barrier.
+		err.Counters = w.counters.Report()
 	}
 	w.stallMu.Lock()
 	if w.stallErr == nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/fastmath/pumi-go/internal/hwtopo"
 	"github.com/fastmath/pumi-go/internal/perf"
 	"github.com/fastmath/pumi-go/internal/san"
+	"github.com/fastmath/pumi-go/internal/telemetry"
 	"github.com/fastmath/pumi-go/internal/trace"
 )
 
@@ -92,6 +93,14 @@ type Options struct {
 	// accepting state. The first off-automaton op fails the run with a
 	// *san.ProtocolError naming the op and the expected set.
 	Conform *san.Protocol
+	// Metrics, when non-nil, records the run's op latency and
+	// arrival-skew histograms, queue/pool gauges and per-neighbor
+	// traffic matrix into the given registry (see internal/telemetry).
+	// When nil and a process-wide registry is installed via
+	// SetDefaultMetrics, the run records into that instead. Recording is
+	// atomic-only and allocation-free, so metering can stay on during
+	// benchmarks.
+	Metrics *telemetry.Registry
 }
 
 // World holds the shared state of one parallel run: the reusable
@@ -105,6 +114,13 @@ type World struct {
 	faults *FaultPlan
 	san    *sanState    // non-nil when the run is sanitized
 	tr     *trace.Trace // non-nil when the run is traced
+
+	// id is the process-unique world number introspection output uses;
+	// start anchors the world's monotonic clock and wm holds the
+	// pre-resolved metric handles (nil when the run is unmetered).
+	id    int64
+	start time.Time
+	wm    *worldMetrics
 
 	// conform is the online protocol-automaton monitor, non-nil when the
 	// run carries Options.Conform.
@@ -172,6 +188,14 @@ type rankState struct {
 	blocked  atomic.Bool // parked in the barrier
 	done     atomic.Bool // body returned, panicked, or vanished
 	vanished atomic.Bool
+
+	// arrival is when (world-monotonic ns) this rank reached the current
+	// op's first barrier wait, arrivalSeq the 1-based op index it belongs
+	// to. The releasing rank of each collective reads both to attribute
+	// the op's cost to its last arriver (recordSkew); the sequence match
+	// keeps a fast rank's next-op stamp out of the current op's scan.
+	arrival    atomic.Int64
+	arrivalSeq atomic.Int64
 }
 
 type inbox struct {
@@ -243,6 +267,14 @@ type Ctx struct {
 	// tr is this rank's flight recorder (nil when the run is untraced;
 	// Recorder methods are nil-safe).
 	tr *trace.Recorder
+
+	// Metering state for the current blocking op: its interned name, its
+	// 1-based index, the world-monotonic entry time, and how many barrier
+	// waits it has performed (the first wait is the op's arrival point).
+	opName  *string
+	opSeq   int64
+	opStart int64
+	opWaits int32
 }
 
 // worlds tracks the active runs so AbortAll can tear them down.
@@ -307,6 +339,13 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 		w.resend = newResendStore()
 	}
 	w.agree.init(w)
+	w.id = worldSeq.Add(1)
+	w.start = time.Now()
+	reg := opt.Metrics
+	if reg == nil {
+		reg = defaultMetrics.Load()
+	}
+	w.wm = newWorldMetrics(reg)
 	for i := range w.shards {
 		w.shards[i] = w.counters.NewShard()
 	}
@@ -339,6 +378,10 @@ func RunOpt(n int, opt Options, body func(*Ctx) error) (Stats, error) {
 		go w.watch(timeout, stop)
 	}
 
+	if w.wm != nil {
+		w.wm.liveRanks.Add(0, float64(n))
+		defer w.wm.liveRanks.Add(0, -float64(n))
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -496,6 +539,10 @@ func (c *Ctx) beginOp(name *string, isExchange bool) {
 	} else {
 		op = rs.colls.Add(1) + rs.exchs.Load()
 	}
+	c.opName, c.opSeq, c.opWaits = name, op, 0
+	if c.w.wm != nil {
+		c.opStart = c.w.since()
+	}
 	f := c.w.faults.find(c.rank, op)
 	if f == nil {
 		return
@@ -530,6 +577,9 @@ func (c *Ctx) endOp() {
 			c.tr.End(*p)
 		}
 	}
+	if wm := c.w.wm; wm != nil && c.opName != nil {
+		wm.opNs[c.opName].Observe(c.rank, c.w.since()-c.opStart)
+	}
 	rs.op.Store(&opNone)
 }
 
@@ -541,13 +591,29 @@ func (c *Ctx) collStart(name *string) {
 	c.sanRecord(*name, 0)
 }
 
+// since returns world-monotonic nanoseconds (time since RunOpt began).
+func (w *World) since() int64 { return int64(time.Since(w.start)) }
+
 // wait parks in the shared barrier, flagging the rank as blocked so the
 // watchdog can tell waiting from computing.
 func (c *Ctx) wait() {
 	rs := &c.w.ranks[c.rank]
+	first := c.opWaits == 0
+	c.opWaits++
+	if first && c.w.wm != nil {
+		// The op's arrival point: compute (and any injected delay) is
+		// behind us, the sync wait starts here.
+		rs.arrival.Store(c.w.since())
+		rs.arrivalSeq.Store(c.opSeq)
+	}
 	rs.blocked.Store(true)
 	defer rs.blocked.Store(false)
-	c.w.bar.wait()
+	if releaser := c.w.bar.wait(); releaser && first && c.opName != nil {
+		// This rank's arrival filled the barrier: it is the op's last
+		// arriver, and every peer's arrival stamp for this op is final —
+		// attribute the collective before anyone races ahead.
+		c.w.recordSkew(c.opName, c.opSeq)
+	}
 	if c.sanPending {
 		// First wait of a sanitized op: every rank has published its
 		// schedule hash for this op and none can overwrite it before
@@ -664,6 +730,10 @@ func (c *Ctx) Exchange() []Message {
 		b.seal()
 		b.active = false
 		b.buf = nil
+		if wm := c.w.wm; wm != nil {
+			wm.sendBytes.Observe(c.rank, int64(len(data)))
+			wm.neighborBytes.Add(c.rank, p, int64(len(data)))
+		}
 		if c.SameNode(p) {
 			// Shared memory: hand the buffer over by reference. The
 			// array's ownership moves to the receiver, whose Reader.Done
@@ -754,6 +824,10 @@ func (c *Ctx) Exchange() []Message {
 	ib.msgs = keep
 	ib.mu.Unlock()
 	c.arrived = arrived
+	if wm := c.w.wm; wm != nil {
+		wm.queueDepth.SetInt(c.rank, int64(len(arrived)))
+		wm.poolFree.SetInt(c.rank, int64(len(c.free)))
+	}
 	// Stable sort: frames from one sender keep their send order, which
 	// the duplicate-detection sequence check depends on.
 	slices.SortStableFunc(arrived, func(a, b delivery) int { return a.from - b.from })
@@ -856,7 +930,10 @@ func (b *barrier) init(n int) {
 	b.cond = sync.NewCond(&b.mu)
 }
 
-func (b *barrier) wait() {
+// wait parks until every rank arrives. It reports whether this caller
+// was the releaser — the arrival that filled the generation — which the
+// metering layer uses to attribute the collective to its last arriver.
+func (b *barrier) wait() bool {
 	b.mu.Lock()
 	if b.poisoned {
 		cause := b.cause
@@ -870,7 +947,7 @@ func (b *barrier) wait() {
 		b.gen++
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return
+		return true
 	}
 	for gen == b.gen && !b.poisoned {
 		b.cond.Wait()
@@ -883,13 +960,14 @@ func (b *barrier) wait() {
 		// post-wait work (like the sanitizer's divergence check) could
 		// be preempted on some ranks by a peer's teardown.
 		b.mu.Unlock()
-		return
+		return false
 	}
 	poisoned, cause := b.poisoned, b.cause
 	b.mu.Unlock()
 	if poisoned {
 		panic(cause)
 	}
+	return false
 }
 
 func (b *barrier) poison() { b.poisonWith(ErrPeerFailed) }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // ErrProtocol is wrapped by every conformance violation; match with
@@ -175,6 +176,16 @@ func (p *Protocol) Start() int { return p.start }
 // finish there.
 func (p *Protocol) Accepting(s int) bool { return p.accept[s] }
 
+// Expected returns the sorted op set with transitions from state s —
+// what the automaton would accept next there. The slice is shared and
+// must not be mutated.
+func (p *Protocol) Expected(s int) []string {
+	if s < 0 || s >= len(p.expected) {
+		return nil
+	}
+	return p.expected[s]
+}
+
 // step advances from state s on op. ok is false when the automaton has
 // no transition — explicit or wildcard — for the op there.
 func (p *Protocol) step(s int, op string) (next int, ok bool) {
@@ -194,12 +205,15 @@ func (p *Protocol) step(s int, op string) (next int, ok bool) {
 
 // Conformance drives each rank of one run through a shared Protocol.
 // Step and Finish are called only by the rank they name (the PCU
-// runtime calls them from the rank's own goroutine), so per-rank
-// cursors need no locks.
+// runtime calls them from the rank's own goroutine). The cursors are
+// atomics — not for the rank, which owns its cursor exclusively, but so
+// a live scraper (the /protocol introspection endpoint) can read every
+// rank's position mid-run without locks and without racing the hot
+// path.
 type Conformance struct {
 	p     *Protocol
-	state []int32
-	idx   []int32
+	state []atomic.Int32
+	idx   []atomic.Int32
 }
 
 // NewConformance returns a monitor for a run of the given rank count,
@@ -207,13 +221,27 @@ type Conformance struct {
 func NewConformance(p *Protocol, ranks int) *Conformance {
 	m := &Conformance{
 		p:     p,
-		state: make([]int32, ranks),
-		idx:   make([]int32, ranks),
+		state: make([]atomic.Int32, ranks),
+		idx:   make([]atomic.Int32, ranks),
 	}
 	for r := range m.state {
-		m.state[r] = int32(p.start)
+		m.state[r].Store(int32(p.start))
 	}
 	return m
+}
+
+// Ranks returns the monitor's rank count.
+func (m *Conformance) Ranks() int { return len(m.state) }
+
+// Protocol returns the automaton the monitor enforces.
+func (m *Conformance) Protocol() *Protocol { return m.p }
+
+// Cursor returns rank's current automaton state and how many ops it has
+// consumed. Safe to call from any goroutine while the run advances; the
+// two loads are independently atomic, so a concurrent Step may show
+// state and steps one op apart — fine for introspection.
+func (m *Conformance) Cursor(rank int) (state, steps int) {
+	return int(m.state[rank].Load()), int(m.idx[rank].Load())
 }
 
 // Step consumes one collective op on the given rank. A conforming op
@@ -221,20 +249,20 @@ func NewConformance(p *Protocol, ranks int) *Conformance {
 // off-automaton op returns a *ProtocolError and leaves the cursor in
 // place (subsequent calls keep failing at the same state).
 func (m *Conformance) Step(rank int, op string) error {
-	s := int(m.state[rank])
+	s := int(m.state[rank].Load())
 	next, ok := m.p.step(s, op)
 	if !ok {
 		return &ProtocolError{
 			Entry:    m.p.entry,
 			Rank:     rank,
-			Index:    int(m.idx[rank]),
+			Index:    int(m.idx[rank].Load()),
 			Op:       op,
 			State:    s,
 			Expected: m.p.expected[s],
 		}
 	}
-	m.state[rank] = int32(next)
-	m.idx[rank]++
+	m.state[rank].Store(int32(next))
+	m.idx[rank].Add(1)
 	return nil
 }
 
@@ -243,14 +271,14 @@ func (m *Conformance) Step(rank int, op string) error {
 // body returned nil: a rank unwinding with an error (revocation,
 // injected fault, teardown) legally stops mid-protocol.
 func (m *Conformance) Finish(rank int) error {
-	s := int(m.state[rank])
+	s := int(m.state[rank].Load())
 	if m.p.accept[s] {
 		return nil
 	}
 	return &ProtocolError{
 		Entry:    m.p.entry,
 		Rank:     rank,
-		Index:    int(m.idx[rank]),
+		Index:    int(m.idx[rank].Load()),
 		Op:       "(return)",
 		State:    s,
 		Expected: m.p.expected[s],

@@ -47,6 +47,32 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	return writeChrome(w, t.capture())
 }
 
+// WriteChromeMerged writes the merged timeline of several traces as one
+// Chrome trace-event document — the live /trace endpoint's view over
+// every active world. Nil traces are skipped; rank r of every trace
+// lands on track r (all recorders share the process epoch, so the
+// timelines interleave correctly).
+func WriteChromeMerged(w io.Writer, traces []*Trace) error {
+	ranks := 0
+	for _, t := range traces {
+		if t.Ranks() > ranks {
+			ranks = t.Ranks()
+		}
+	}
+	merged := capture{perRank: make([][]Event, ranks), dropped: make([]uint64, ranks)}
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		tc := t.capture()
+		for r := range tc.perRank {
+			merged.perRank[r] = append(merged.perRank[r], tc.perRank[r]...)
+			merged.dropped[r] += tc.dropped[r]
+		}
+	}
+	return writeChrome(w, merged)
+}
+
 func writeChrome(w io.Writer, c capture) error {
 	doc := chromeDoc{
 		TraceEvents:     []chromeEvent{},

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate the committed blame-table golden after a deliberate
+// change to the Format layout or the fixture:
+//
+//	PUMI_REGEN_GOLDEN=1 go test ./internal/trace -run TestRegenCriticalGolden
+func TestRegenCriticalGolden(t *testing.T) {
+	if os.Getenv("PUMI_REGEN_GOLDEN") == "" {
+		t.Skip("set PUMI_REGEN_GOLDEN=1 to rewrite testdata/critical_fixture.golden")
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "critical_fixture.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CriticalPathChrome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if err := os.WriteFile(filepath.Join("testdata", "critical_fixture.golden"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d bytes", buf.Len())
+}

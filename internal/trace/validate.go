@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 )
 
 // FileKind reports which trace document a JSON file holds.
@@ -27,12 +30,46 @@ func (k FileKind) String() string {
 	return "unknown"
 }
 
+// MaybeGunzip transparently decompresses gzip data (sniffed by the
+// 0x1f 0x8b magic) and passes anything else through untouched. Long
+// chaos soaks gzip their multi-MB exports; every reader in this package
+// and in pumi-trace accepts both forms.
+func MaybeGunzip(data []byte) ([]byte, error) {
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		return data, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("gzip: %w", err)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("gzip: %w", err)
+	}
+	return out, nil
+}
+
+// decodeChrome parses an exported Chrome timeline document.
+func decodeChrome(data []byte) (*chromeDoc, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("chrome trace: %w", err)
+	}
+	return &doc, nil
+}
+
 // ValidateFile detects which trace document data holds and checks it
 // structurally: schema tag, required fields, per-rank B/E span nesting
-// for timelines, and phase/neighbor invariants for summaries. It is the
-// check `pumi-trace -validate` and the trace-smoke CI lane run against
+// for timelines, and phase/neighbor invariants for summaries. Gzipped
+// exports (.json.gz) are decompressed transparently. It is the check
+// `pumi-trace -validate` and the trace-smoke CI lane run against
 // emitted files.
 func ValidateFile(data []byte) (FileKind, error) {
+	data, err := MaybeGunzip(data)
+	if err != nil {
+		return FileUnknown, err
+	}
 	var probe struct {
 		Schema    string `json:"schema"`
 		OtherData struct {
